@@ -1,0 +1,285 @@
+// Package-level benchmarks: one testing.B benchmark per paper table/figure.
+//
+// These measure the real implementations with wall-clock time, which is
+// meaningful on a multicore host; each parallel benchmark also reports the
+// virtual-time speedup ("vx-speedup") derived by the deterministic worker
+// simulator so the paper's series can be regenerated on any machine
+// (see internal/bench and `go run ./cmd/bpbench`).
+package blockpilot_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"blockpilot"
+
+	"blockpilot/internal/baseline"
+	"blockpilot/internal/bench"
+	"blockpilot/internal/chain"
+	"blockpilot/internal/core"
+	"blockpilot/internal/mempool"
+	"blockpilot/internal/pipeline"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/validator"
+	"blockpilot/internal/workload"
+)
+
+// fixture: one calibrated mainnet-like block, built once.
+type benchFixture struct {
+	parent       *state.Snapshot
+	parentHeader *types.Header
+	block        *types.Block
+	txs          []*types.Transaction
+	params       chain.Params
+}
+
+var (
+	fixtureOnce sync.Once
+	fx          *benchFixture
+)
+
+func fixture(b *testing.B) *benchFixture {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		g := workload.New(workload.Default())
+		parent := g.GenesisState()
+		params := chain.DefaultParams()
+		// Use the chain genesis header so pipeline benches (which build a
+		// chain.NewChain over the same state) recognize the parent.
+		parentHeader := &chain.NewChain(parent, params).Genesis().Header
+		txs := g.NextBlockTxs()
+		pool := mempool.New()
+		pool.AddAll(txs)
+		res, err := core.Propose(parent, parentHeader, pool, core.ProposerConfig{
+			Threads: 8, Coinbase: types.HexToAddress("0xc01bbace"), Time: 1,
+		}, params)
+		if err != nil {
+			panic(err)
+		}
+		fx = &benchFixture{
+			parent: parent, parentHeader: parentHeader,
+			block: res.Block, txs: txs, params: params,
+		}
+	})
+	return fx
+}
+
+var threadCounts = []int{1, 2, 4, 8, 16}
+
+// BenchmarkSerialBaseline is the Geth-style serial executor both contexts
+// are compared against (denominator of every speedup in the paper).
+func BenchmarkSerialBaseline(b *testing.B) {
+	f := fixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := chain.VerifyBlockSerial(f.parent, f.parentHeader, f.block, f.params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProposerThreads regenerates Fig. 6: OCC-WSI packing per thread
+// count.
+func BenchmarkProposerThreads(b *testing.B) {
+	f := fixture(b)
+	for _, threads := range threadCounts {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pool := mempool.New()
+				pool.AddAll(f.txs)
+				res, err := core.Propose(f.parent, f.parentHeader, pool, core.ProposerConfig{
+					Threads: threads, Coinbase: types.HexToAddress("0xc01bbace"), Time: 1,
+				}, f.params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Committed != len(f.txs) {
+					b.Fatalf("packed %d of %d", res.Committed, len(f.txs))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkValidatorThreads regenerates Fig. 7(a), BlockPilot curve.
+func BenchmarkValidatorThreads(b *testing.B) {
+	f := fixture(b)
+	for _, threads := range threadCounts {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := validator.ValidateParallel(f.parent, f.parentHeader, f.block,
+					validator.DefaultConfig(threads), f.params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkValidatorOCC regenerates Fig. 7(a), OCC comparison curve.
+func BenchmarkValidatorOCC(b *testing.B) {
+	f := fixture(b)
+	for _, threads := range threadCounts {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.ValidateOCC(f.parent, f.parentHeader, f.block, threads, f.params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHotspotRatio regenerates Fig. 8's axis: validation across
+// hotspot concentrations (the subgraph-share → speedup relation).
+func BenchmarkHotspotRatio(b *testing.B) {
+	mixes := []struct {
+		name  string
+		swap  float64
+		pairs int
+	}{
+		{"cold-5pct", 0.05, 10},
+		{"warm-30pct", 0.30, 10},
+		{"hot-70pct", 0.70, 1},
+	}
+	for _, mix := range mixes {
+		b.Run(mix.name, func(b *testing.B) {
+			cfg := workload.Default()
+			cfg.SwapRatio = mix.swap
+			cfg.NumPairs = mix.pairs
+			cfg.NativeRatio = (1 - mix.swap) * 0.4
+			cfg.MixerRatio = (1 - mix.swap) * 0.2
+			g := workload.New(cfg)
+			parent := g.GenesisState()
+			params := chain.DefaultParams()
+			parentHeader := &types.Header{Number: 0, StateRoot: parent.Root(), GasLimit: params.GasLimit}
+			header := &types.Header{ParentHash: parentHeader.Hash(), Number: 1,
+				Coinbase: types.HexToAddress("0xc0"), GasLimit: params.GasLimit, Time: 1}
+			txs := g.NextBlockTxs()
+			res, err := chain.ExecuteSerial(parent, header, txs, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			block := chain.SealBlock(parentHeader, header.Coinbase, 1, txs, res, params)
+			b.ResetTimer()
+			b.ReportAllocs()
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				vres, err := validator.ValidateParallel(parent, parentHeader, block,
+					validator.DefaultConfig(16), params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = vres.Stats.LargestRatio
+			}
+			b.ReportMetric(ratio*100, "%max-subgraph")
+		})
+	}
+}
+
+// BenchmarkPipelineBlocks regenerates Fig. 9: k same-height blocks through
+// the shared-worker pipeline.
+func BenchmarkPipelineBlocks(b *testing.B) {
+	f := fixture(b)
+	// Build sibling blocks once.
+	siblings := make([]*types.Block, 8)
+	states := make([]*state.Snapshot, 8)
+	for i := range siblings {
+		pool := mempool.New()
+		pool.AddAll(f.txs)
+		cb := types.HexToAddress("0xc01bbace")
+		cb[19] = byte(i + 1)
+		res, err := core.Propose(f.parent, f.parentHeader, pool, core.ProposerConfig{
+			Threads: 8, Coinbase: cb, Time: 1,
+		}, f.params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		siblings[i] = res.Block
+		states[i] = res.State
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("blocks=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// The pipeline needs a chain whose genesis is the parent.
+				c := chain.NewChain(f.parent, f.params)
+				pool := pipeline.NewWorkerPool(16)
+				p := pipeline.New(c, validator.DefaultConfig(16), pool)
+				for j := 0; j < k; j++ {
+					p.Submit(siblings[j])
+				}
+				p.Close()
+				for out := range p.Results() {
+					if out.Err != nil {
+						b.Fatal(out.Err)
+					}
+				}
+				pool.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkCorrectnessLoop measures the full propose→validate→commit loop
+// (the §5.2 replay, per block).
+func BenchmarkCorrectnessLoop(b *testing.B) {
+	g := workload.New(workload.Default())
+	c := blockpilot.NewChain(g.GenesisState(), blockpilot.DefaultParams())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pool := blockpilot.NewTxPool()
+		pool.AddAll(g.NextBlockTxs())
+		res, err := blockpilot.Propose(c, pool, blockpilot.ProposerOptions{
+			Threads: 8, Coinbase: blockpilot.HexToAddress("0xc01bbace"), Time: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := blockpilot.Validate(c, res.Block, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVirtualSeries reports the virtual-time speedup series (the
+// numbers EXPERIMENTS.md records) as benchmark metrics, so `go test -bench`
+// regenerates the paper's figures even on a single-core host.
+func BenchmarkVirtualSeries(b *testing.B) {
+	o := bench.DefaultOptions()
+	o.Blocks = 4
+	o.Repeats = 1
+	o.Threads = []int{2, 4, 8, 16}
+	b.Run("fig6-proposer-16t", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := bench.RunProposer(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.MeanSpeedup[len(res.MeanSpeedup)-1], "vx-speedup")
+		}
+	})
+	b.Run("fig7a-validator-16t", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := bench.RunValidator(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.MeanSpeedup[len(res.MeanSpeedup)-1], "vx-speedup")
+		}
+	})
+	b.Run("fig9-pipeline-4blocks", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := bench.RunPipeline(o, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Speedup[len(res.Speedup)-1], "vx-speedup")
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package blockpilot_test
+
+import (
+	"testing"
+
+	"blockpilot"
+)
+
+// TestFacadeEndToEnd drives the whole public API: genesis → pool → parallel
+// propose → serializability check → parallel validate → pipeline over forks.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := blockpilot.DefaultWorkload()
+	cfg.NumAccounts = 400
+	cfg.TxPerBlock = 60
+	gen := blockpilot.NewWorkload(cfg)
+	c := blockpilot.NewChain(gen.GenesisState(), blockpilot.DefaultParams())
+
+	// Height 1: propose and validate.
+	txs := gen.NextBlockTxs()
+	pool := blockpilot.NewTxPool()
+	pool.AddAll(txs)
+	res, err := blockpilot.Propose(c, pool, blockpilot.ProposerOptions{
+		Threads:  4,
+		Coinbase: blockpilot.HexToAddress("0xc01bbace"),
+		Time:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != len(txs) {
+		t.Fatalf("packed %d of %d", res.Committed, len(txs))
+	}
+	if err := blockpilot.VerifySerial(c, res.Block); err != nil {
+		t.Fatalf("not serializable: %v", err)
+	}
+	vres, err := blockpilot.Validate(c, res.Block, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vres.Stats.TxCount != len(txs) {
+		t.Fatalf("stats cover %d txs", vres.Stats.TxCount)
+	}
+	if c.Height() != 1 {
+		t.Fatalf("height = %d", c.Height())
+	}
+
+	// Height 2 and 3 through the pipeline, submitted out of order.
+	var blocks []*blockpilot.Block
+	for h := uint64(2); h <= 3; h++ {
+		pool := blockpilot.NewTxPool()
+		pool.AddAll(gen.NextBlockTxs())
+		r, err := blockpilot.Propose(c, pool, blockpilot.ProposerOptions{
+			Threads: 4, Coinbase: blockpilot.HexToAddress("0xc01bbace"), Time: h,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, r.Block)
+		// Advance the producer's view so the next proposal has a parent.
+		if _, err := blockpilot.Validate(c, r.Block, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A separate consumer node validates them via the pipeline, child first.
+	node := blockpilot.NewChain(gen.GenesisState(), blockpilot.DefaultParams())
+	// Height-1 block first has to land; submit everything reversed.
+	p := blockpilot.NewPipeline(node, 4)
+	p.Submit(blocks[1])
+	p.Submit(blocks[0])
+	p.Submit(res.Block)
+	p.Close()
+	ok := 0
+	for out := range p.Results() {
+		if out.Err != nil {
+			t.Fatalf("pipeline rejected height %d: %v", out.Block.Number(), out.Err)
+		}
+		ok++
+	}
+	if ok != 3 || node.Height() != 3 {
+		t.Fatalf("pipeline validated %d, height %d", ok, node.Height())
+	}
+	if node.HeadState().Root() != c.HeadState().Root() {
+		t.Fatal("consumer node diverged from producer")
+	}
+}
+
+// TestFacadeGenesisBuilder exercises the hand-rolled genesis path.
+func TestFacadeGenesisBuilder(t *testing.T) {
+	alice := blockpilot.HexToAddress("0xa11ce")
+	bob := blockpilot.HexToAddress("0xb0b")
+	genesis := blockpilot.NewGenesisBuilder().
+		AddAccount(alice, blockpilot.NewUint256(1_000_000)).
+		Build()
+	c := blockpilot.NewChain(genesis, blockpilot.DefaultParams())
+
+	tx := &blockpilot.Transaction{Nonce: 0, Gas: 21000, To: bob, From: alice}
+	tx.GasPrice.SetUint64(1)
+	tx.Value.SetUint64(777)
+	pool := blockpilot.NewTxPool()
+	pool.Add(tx)
+
+	res, err := blockpilot.Propose(c, pool, blockpilot.ProposerOptions{
+		Threads: 2, Coinbase: bob, Time: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blockpilot.Validate(c, res.Block, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := c.HeadState().Balance(bob)
+	// value + fee + block reward
+	want := blockpilot.NewUint256(777 + 21000 + blockpilot.DefaultParams().BlockReward)
+	if !got.Eq(want) {
+		t.Fatalf("bob = %s, want %s", got.String(), want.String())
+	}
+}

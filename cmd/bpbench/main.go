@@ -1,0 +1,121 @@
+// Command bpbench regenerates the paper's evaluation tables and figures
+// (§5.2 correctness, Fig. 6, Fig. 7(a)/(b), Fig. 8, Fig. 9) plus the two
+// design ablations, printing each as text series that mirror the paper's
+// reported rows.
+//
+// Usage:
+//
+//	bpbench -exp all                 # everything (default)
+//	bpbench -exp fig7a -blocks 40    # one experiment, more blocks
+//	bpbench -exp fig9 -mode wall     # wall-clock mode (needs a multicore host)
+//
+// Modes: "virtual" (default) measures every transaction's real execution
+// cost and derives parallel makespans with a deterministic simulator of the
+// worker pool — single-core safe and reproducible; "wall" uses real threads
+// and wall-clock time (meaningful only on a multicore host).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"blockpilot/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys")
+	blocks := flag.Int("blocks", 20, "blocks per experiment")
+	repeats := flag.Int("repeats", 3, "timing repeats per point")
+	mode := flag.String("mode", "virtual", "timing mode: virtual|wall")
+	maxPipeline := flag.Int("max-pipeline-blocks", 8, "Fig. 9: max concurrent blocks")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	o := bench.DefaultOptions()
+	o.Blocks = *blocks
+	o.Repeats = *repeats
+	o.Workload.Seed = *seed
+	switch *mode {
+	case "virtual":
+		o.Mode = bench.Virtual
+	case "wall":
+		o.Mode = bench.Wall
+		if runtime.NumCPU() < 4 {
+			fmt.Fprintf(os.Stderr, "warning: wall mode on %d CPU(s) cannot show parallel speedup; use -mode virtual\n", runtime.NumCPU())
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	fmt.Printf("BlockPilot evaluation — mode=%s, blocks=%d, repeats=%d, %d-CPU host\n\n",
+		*mode, o.Blocks, o.Repeats, runtime.NumCPU())
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("correctness") {
+		ran = true
+		res, err := bench.RunCorrectness(o)
+		fatalIf(err)
+		fmt.Println(res.Render())
+	}
+	if want("fig6") {
+		ran = true
+		res, err := bench.RunProposer(o)
+		fatalIf(err)
+		fmt.Println(res.Render())
+	}
+	if want("fig7a") || want("fig7b") {
+		ran = true
+		res, err := bench.RunValidator(o)
+		fatalIf(err)
+		fmt.Println(res.Render())
+	}
+	if want("fig8") {
+		ran = true
+		res, err := bench.RunHotspot(o)
+		fatalIf(err)
+		fmt.Println(res.Render())
+	}
+	if want("fig9") {
+		ran = true
+		res, err := bench.RunPipeline(o, *maxPipeline)
+		fatalIf(err)
+		fmt.Println(res.Render())
+	}
+	if want("ablation-sched") {
+		ran = true
+		res, err := bench.RunSchedulingAblation(o)
+		fatalIf(err)
+		fmt.Println(res.Render())
+	}
+	if want("ablation-keys") {
+		ran = true
+		res, err := bench.RunGranularityAblation(o)
+		fatalIf(err)
+		fmt.Println(res.Render())
+	}
+	if want("ablation-proposer-keys") {
+		ran = true
+		res, err := bench.RunProposerKeysAblation(o)
+		fatalIf(err)
+		fmt.Println(res.Render())
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q; want one of all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys", *exp))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bpbench:", strings.TrimSpace(err.Error()))
+	os.Exit(1)
+}

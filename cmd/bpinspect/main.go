@@ -1,0 +1,124 @@
+// Command bpinspect prints the conflict anatomy of generated blocks: the
+// dependency subgraphs the validator's scheduler sees, the per-phase time
+// breakdown (execution vs commit), and the gas-LPT thread assignment.
+// It is the diagnostic companion to cmd/bpbench.
+//
+//	bpinspect -blocks 3 -threads 16
+//	bpinspect -swap-ratio 0.9 -pairs 1        # force a pathological hotspot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"blockpilot/internal/chain"
+	"blockpilot/internal/scheduler"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/workload"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 2, "blocks to inspect")
+	threads := flag.Int("threads", 16, "scheduler thread count")
+	txPerBlock := flag.Int("txs", 132, "transactions per block")
+	swapRatio := flag.Float64("swap-ratio", -1, "override hotspot swap ratio (0..1)")
+	pairs := flag.Int("pairs", -1, "override AMM pair count")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	cfg := workload.Default()
+	cfg.Seed = *seed
+	cfg.TxPerBlock = *txPerBlock
+	if *swapRatio >= 0 {
+		cfg.SwapRatio = *swapRatio
+	}
+	if *pairs > 0 {
+		cfg.NumPairs = *pairs
+	}
+	g := workload.New(cfg)
+	st := g.GenesisState()
+	params := chain.DefaultParams()
+	parentHeader := &types.Header{Number: 0, StateRoot: st.Root(), GasLimit: params.GasLimit}
+	coinbase := types.HexToAddress("0xc01bbace")
+
+	for b := 0; b < *blocks; b++ {
+		txs := g.NextBlockTxs()
+		header := &types.Header{
+			ParentHash: parentHeader.Hash(), Number: parentHeader.Number + 1,
+			Coinbase: coinbase, GasLimit: params.GasLimit, Time: uint64(b + 1),
+		}
+
+		// Execute serially, timing each transaction and the commit.
+		accum := state.NewMemory(st)
+		bc := chain.BlockContextFor(header, params.ChainID)
+		perTx := make([]time.Duration, len(txs))
+		var exec time.Duration
+		for i, tx := range txs {
+			o := state.NewOverlay(accum, types.Version(i))
+			start := time.Now()
+			if _, _, err := chain.ApplyTransaction(o, tx, bc); err != nil {
+				fmt.Fprintf(os.Stderr, "bpinspect: tx %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			perTx[i] = time.Since(start)
+			exec += perTx[i]
+			accum.ApplyChangeSet(o.ChangeSet())
+		}
+		res, err := chain.ExecuteSerial(st, header, txs, params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bpinspect:", err)
+			os.Exit(1)
+		}
+
+		comps := scheduler.BuildComponents(res.Profile, true)
+		stats := scheduler.ComputeStats(comps)
+		sched := scheduler.AssignLPT(comps, *threads)
+
+		fmt.Printf("block %d: %d txs, %d gas, exec %v\n",
+			b+1, len(txs), res.GasUsed, exec.Round(time.Microsecond))
+		fmt.Printf("  dependency graph: %d subgraphs, largest %d txs (%.0f%%), gas-parallelism bound %.2fx\n",
+			stats.ComponentCount, stats.LargestComponent, stats.LargestRatio*100, stats.ParallelismUpper)
+
+		// Top components by time.
+		type comp struct {
+			txs int
+			d   time.Duration
+		}
+		var byTime []comp
+		for _, c := range comps {
+			var d time.Duration
+			for _, i := range c.TxIndices {
+				d += perTx[i]
+			}
+			byTime = append(byTime, comp{txs: len(c.TxIndices), d: d})
+		}
+		sort.Slice(byTime, func(i, j int) bool { return byTime[i].d > byTime[j].d })
+		fmt.Printf("  heaviest subgraphs (txs @ time): ")
+		for i := 0; i < len(byTime) && i < 5; i++ {
+			fmt.Printf("%d@%v  ", byTime[i].txs, byTime[i].d.Round(time.Microsecond))
+		}
+		fmt.Println()
+
+		// Thread assignment balance.
+		var lanes []time.Duration
+		for _, lane := range sched.ThreadTxs {
+			var d time.Duration
+			for _, i := range lane {
+				d += perTx[i]
+			}
+			lanes = append(lanes, d)
+		}
+		sort.Slice(lanes, func(i, j int) bool { return lanes[i] > lanes[j] })
+		fmt.Printf("  gas-LPT over %d threads: makespan %v (ideal %v)\n\n",
+			*threads, lanes[0].Round(time.Microsecond),
+			(exec / time.Duration(*threads)).Round(time.Microsecond))
+
+		st = res.State
+		block := chain.SealBlock(parentHeader, coinbase, uint64(b+1), txs, res, params)
+		parentHeader = &block.Header
+	}
+}

@@ -1,0 +1,87 @@
+// Light-client example: a client that stores ONLY block headers can verify
+// individual accounts and storage slots against the state root the
+// BlockPilot validators agreed on, using Merkle proofs served by a full
+// node — and can use the header's logs bloom to skip blocks that cannot
+// contain an event it cares about.
+//
+//	go run ./examples/light-client
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blockpilot"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+)
+
+func main() {
+	// --- Full node side: build a short chain with real traffic. ---
+	gen := blockpilot.NewWorkload(blockpilot.DefaultWorkload())
+	c := blockpilot.NewChain(gen.GenesisState(), blockpilot.DefaultParams())
+	for h := uint64(1); h <= 3; h++ {
+		pool := blockpilot.NewTxPool()
+		pool.AddAll(gen.NextBlockTxs())
+		res, err := blockpilot.Propose(c, pool, blockpilot.ProposerOptions{
+			Threads: 8, Coinbase: blockpilot.HexToAddress("0xc01bbace"), Time: h,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := blockpilot.Validate(c, res.Block, 8); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- Light client side: it holds only this header. ---
+	header := c.Head().Header
+	fmt.Printf("light client trusts header #%d, state root %s\n\n", header.Number, header.StateRoot)
+
+	fullNodeState := c.HeadState() // what the full node serves proofs from
+	holder := gen.Accounts()[0]    // the popular deposit address
+	token := gen.Tokens()[0]
+
+	// 1. Verify the holder's native balance with an account proof.
+	acctProof := fullNodeState.ProveAccount(holder)
+	acct, err := state.VerifyAccountProof(header.StateRoot, acctProof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("account %s…: proven balance %s, nonce %d (%d proof nodes)\n",
+		holder.String()[:12], acct.Balance.String(), acct.Nonce, len(acctProof.Nodes))
+
+	// 2. Verify the holder's TOKEN balance: a storage proof into the token
+	// contract (balances live at slot == holder address).
+	storageProof := fullNodeState.ProveStorage(token, holder.Hash())
+	tokenBal, err := state.VerifyStorageProof(header.StateRoot, storageProof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("token %s…: proven balanceOf(holder) = %s\n",
+		token.String()[:12], tokenBal.String())
+
+	// 3. A forged proof does not verify.
+	forged := storageProof
+	forged.Nodes = append([][]byte(nil), storageProof.Nodes...)
+	if len(forged.Nodes) > 0 {
+		tampered := append([]byte(nil), forged.Nodes[0]...)
+		tampered[0] ^= 0x01
+		forged.Nodes[0] = tampered
+	}
+	if _, err := state.VerifyStorageProof(header.StateRoot, forged); err == nil {
+		log.Fatal("forged proof verified — should be impossible")
+	}
+	fmt.Println("forged storage proof correctly rejected")
+
+	// 4. Bloom filtering: before downloading receipts, the client checks
+	// the header bloom for the token's Transfer events.
+	if header.LogsBloom.Contains(token.Bytes()) {
+		fmt.Printf("header bloom says token %s… MAY have logged events in block %d\n",
+			token.String()[:12], header.Number)
+	}
+	absent := types.HexToAddress("0x00000000000000000000000000000000deadbeef")
+	if !header.LogsBloom.Contains(absent.Bytes()) {
+		fmt.Println("header bloom definitively rules out events from 0x…deadbeef: skip this block")
+	}
+}

@@ -1,0 +1,69 @@
+// Proposer example: watch OCC-WSI (paper Algorithm 1) pack a contended
+// block. Every transaction swaps against the same AMM pair, so all of them
+// conflict: with more workers, speculative executions increasingly abort on
+// the reserve-table check and retry — yet the packed block is always
+// serializable and every transaction lands.
+//
+//	go run ./examples/proposer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blockpilot"
+)
+
+func main() {
+	// A workload where every contract call hits one hot pair.
+	cfg := blockpilot.DefaultWorkload()
+	cfg.TxPerBlock = 64
+	cfg.NumPairs = 1
+	cfg.NativeRatio = 0
+	cfg.SwapRatio = 1.0
+	cfg.MixerRatio = 0
+
+	fmt.Println("packing a 64-tx block where every tx swaps on ONE pair:")
+	fmt.Println("threads  committed  aborts  (aborted speculations retried)")
+	for _, threads := range []int{1, 2, 4, 8} {
+		gen := blockpilot.NewWorkload(cfg) // fresh generator: same txs each time
+		c := blockpilot.NewChain(gen.GenesisState(), blockpilot.DefaultParams())
+		pool := blockpilot.NewTxPool()
+		pool.AddAll(gen.NextBlockTxs())
+
+		res, err := blockpilot.Propose(c, pool, blockpilot.ProposerOptions{
+			Threads:  threads,
+			Coinbase: blockpilot.HexToAddress("0xc01bbace"),
+			Time:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The WSI guarantee: replaying the block serially in its packed
+		// order gives the exact state root the proposer committed to.
+		if err := blockpilot.VerifySerial(c, res.Block); err != nil {
+			log.Fatalf("threads=%d: packed block not serializable: %v", threads, err)
+		}
+		fmt.Printf("%7d  %9d  %6d\n", threads, res.Committed, res.Aborts)
+	}
+
+	fmt.Println("\nnow a realistic mixed block (hot pair + hot token + transfers):")
+	gen := blockpilot.NewWorkload(blockpilot.DefaultWorkload())
+	c := blockpilot.NewChain(gen.GenesisState(), blockpilot.DefaultParams())
+	pool := blockpilot.NewTxPool()
+	pool.AddAll(gen.NextBlockTxs())
+	res, err := blockpilot.Propose(c, pool, blockpilot.ProposerOptions{
+		Threads:  8,
+		Coinbase: blockpilot.HexToAddress("0xc01bbace"),
+		Time:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := blockpilot.VerifySerial(c, res.Block); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("packed %d txs with %d aborts; block profile carries %d tx read/write sets\n",
+		res.Committed, res.Aborts, len(res.Block.Profile.Txs))
+	fmt.Println("serial replay reproduces the proposed state root: serializability holds")
+}

@@ -1,0 +1,3 @@
+module blockpilot
+
+go 1.22

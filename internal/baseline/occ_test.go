@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"testing"
+
+	"blockpilot/internal/chain"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/workload"
+)
+
+var coinbase = types.HexToAddress("0xc01bbace")
+
+// buildBlock seals a block via the serial reference executor.
+func buildBlock(t *testing.T, cfg workload.Config) (*state.Snapshot, *types.Header, *types.Block) {
+	t.Helper()
+	g := workload.New(cfg)
+	parent := g.GenesisState()
+	params := chain.DefaultParams()
+	parentHeader := &types.Header{Number: 0, StateRoot: parent.Root(), GasLimit: params.GasLimit}
+	header := &types.Header{
+		ParentHash: parentHeader.Hash(), Number: 1, Coinbase: coinbase,
+		GasLimit: params.GasLimit, Time: 9,
+	}
+	txs := g.NextBlockTxs()
+	res, err := chain.ExecuteSerial(parent, header, txs, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parent, parentHeader, chain.SealBlock(parentHeader, coinbase, 9, txs, res, params)
+}
+
+func smallCfg() workload.Config {
+	cfg := workload.Default()
+	cfg.NumAccounts = 400
+	cfg.TxPerBlock = 100
+	return cfg
+}
+
+func TestOCCValidatesHonestBlock(t *testing.T) {
+	parent, parentHeader, block := buildBlock(t, smallCfg())
+	params := chain.DefaultParams()
+	for _, threads := range []int{1, 4, 8} {
+		res, err := ValidateOCC(parent, parentHeader, block, threads, params)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if res.State.Root() != block.Header.StateRoot {
+			t.Fatalf("threads=%d: root mismatch", threads)
+		}
+		t.Logf("threads=%d: %d/%d dirty", threads, res.Dirty, len(block.Txs))
+	}
+}
+
+func TestOCCMatchesSerial(t *testing.T) {
+	parent, parentHeader, block := buildBlock(t, smallCfg())
+	params := chain.DefaultParams()
+	serial, err := chain.VerifyBlockSerial(parent, parentHeader, block, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ, err := ValidateOCC(parent, parentHeader, block, 8, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.State.Root() != occ.State.Root() {
+		t.Fatal("OCC result differs from serial")
+	}
+	for i := range serial.Receipts {
+		if serial.Receipts[i].GasUsed != occ.Receipts[i].GasUsed {
+			t.Fatalf("receipt %d gas differs", i)
+		}
+	}
+}
+
+func TestOCCDirtyGrowsWithContention(t *testing.T) {
+	low := smallCfg()
+	low.SwapRatio = 0.0
+	low.MixerRatio = 0.6
+	hi := smallCfg()
+	hi.NumPairs = 1
+	hi.SwapRatio = 0.9
+	hi.NativeRatio = 0.05
+	hi.MixerRatio = 0.05
+
+	params := chain.DefaultParams()
+	parentL, hdrL, blockL := buildBlock(t, low)
+	resL, err := ValidateOCC(parentL, hdrL, blockL, 8, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentH, hdrH, blockH := buildBlock(t, hi)
+	resH, err := ValidateOCC(parentH, hdrH, blockH, 8, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resH.Dirty <= resL.Dirty {
+		t.Fatalf("contended block should have more dirty txs: %d (hot) vs %d (cold)", resH.Dirty, resL.Dirty)
+	}
+}
+
+func TestOCCRejectsTamperedBlock(t *testing.T) {
+	parent, parentHeader, block := buildBlock(t, smallCfg())
+	params := chain.DefaultParams()
+	bad := *block
+	bad.Header.StateRoot[3] ^= 0x80
+	if _, err := ValidateOCC(parent, parentHeader, &bad, 4, params); err == nil {
+		t.Fatal("tampered root accepted")
+	}
+	bad2 := *block
+	bad2.Txs = append([]*types.Transaction(nil), block.Txs...)
+	bad2.Txs[0], bad2.Txs[1] = bad2.Txs[1], bad2.Txs[0]
+	if _, err := ValidateOCC(parent, parentHeader, &bad2, 4, params); err == nil {
+		t.Fatal("reordered txs accepted")
+	}
+}
+
+func TestOCCHandlesNonceChains(t *testing.T) {
+	// Same-sender chains force failed speculations; the conservative dirty
+	// marking plus serial walk must still validate.
+	cfg := smallCfg()
+	cfg.NumAccounts = 8 // heavy sender reuse → nonce chains
+	cfg.TxPerBlock = 60
+	parent, parentHeader, block := buildBlock(t, cfg)
+	params := chain.DefaultParams()
+	res, err := ValidateOCC(parent, parentHeader, block, 8, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State.Root() != block.Header.StateRoot {
+		t.Fatal("root mismatch")
+	}
+}

@@ -1,0 +1,185 @@
+// Package blockdb is a minimal persistent block store: an append-only log
+// of RLP-encoded blocks with a length-prefixed framing, plus an in-memory
+// hash index rebuilt on open. It gives a node durable history across
+// restarts (Geth's rawdb, radically simplified) without external
+// dependencies.
+//
+// Format: the file is a sequence of frames `len(4 bytes big-endian) ||
+// blockRLP`. Corrupt or truncated tails are detected on open and the file
+// is truncated back to the last good frame.
+package blockdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"blockpilot/internal/types"
+)
+
+// ErrNotFound reports a missing block.
+var ErrNotFound = errors.New("blockdb: block not found")
+
+// maxFrame bounds a frame to keep a corrupt length prefix from allocating
+// absurd buffers.
+const maxFrame = 64 << 20
+
+// Store is a file-backed block log.
+type Store struct {
+	mu       sync.RWMutex
+	f        *os.File
+	offsets  map[types.Hash]int64 // block hash → frame offset
+	byHeight map[uint64][]types.Hash
+	size     int64
+}
+
+// Open creates or reopens a store at path, rebuilding the index by
+// scanning the log. A torn final frame (crash mid-append) is truncated.
+func Open(path string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		f:        f,
+		offsets:  make(map[types.Hash]int64),
+		byHeight: make(map[uint64][]types.Hash),
+	}
+	if err := s.rebuild(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// rebuild scans the log, indexing every decodable frame.
+func (s *Store) rebuild() error {
+	var lenBuf [4]byte
+	offset := int64(0)
+	for {
+		if _, err := s.f.ReadAt(lenBuf[:], offset); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return err
+		}
+		frameLen := binary.BigEndian.Uint32(lenBuf[:])
+		if frameLen == 0 || frameLen > maxFrame {
+			break // corrupt length: truncate here
+		}
+		buf := make([]byte, frameLen)
+		if n, err := s.f.ReadAt(buf, offset+4); err != nil || n != int(frameLen) {
+			break // torn frame
+		}
+		block, err := types.DecodeBlock(buf)
+		if err != nil {
+			break // corrupt payload
+		}
+		h := block.Hash()
+		s.offsets[h] = offset
+		s.byHeight[block.Number()] = append(s.byHeight[block.Number()], h)
+		offset += 4 + int64(frameLen)
+	}
+	s.size = offset
+	return s.f.Truncate(offset)
+}
+
+// Put appends a block (idempotent by hash).
+func (s *Store) Put(block *types.Block) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := block.Hash()
+	if _, dup := s.offsets[h]; dup {
+		return nil
+	}
+	enc := block.Encode()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(enc)))
+	if _, err := s.f.WriteAt(lenBuf[:], s.size); err != nil {
+		return err
+	}
+	if _, err := s.f.WriteAt(enc, s.size+4); err != nil {
+		return err
+	}
+	s.offsets[h] = s.size
+	s.byHeight[block.Number()] = append(s.byHeight[block.Number()], h)
+	s.size += 4 + int64(len(enc))
+	return nil
+}
+
+// Get reads a block by hash.
+func (s *Store) Get(h types.Hash) (*types.Block, error) {
+	s.mu.RLock()
+	offset, ok := s.offsets[h]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, h)
+	}
+	return s.readAt(offset)
+}
+
+func (s *Store) readAt(offset int64) (*types.Block, error) {
+	var lenBuf [4]byte
+	if _, err := s.f.ReadAt(lenBuf[:], offset); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+	if _, err := s.f.ReadAt(buf, offset+4); err != nil {
+		return nil, err
+	}
+	return types.DecodeBlock(buf)
+}
+
+// Has reports whether a block is stored.
+func (s *Store) Has(h types.Hash) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.offsets[h]
+	return ok
+}
+
+// HashesAt returns all stored block hashes at a height (forks included).
+func (s *Store) HashesAt(height uint64) []types.Hash {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]types.Hash(nil), s.byHeight[height]...)
+}
+
+// Len returns the number of stored blocks.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.offsets)
+}
+
+// MaxHeight returns the greatest stored height (0 when empty).
+func (s *Store) MaxHeight() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var max uint64
+	for h := range s.byHeight {
+		if h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// Sync flushes to disk.
+func (s *Store) Sync() error { return s.f.Sync() }
+
+// Close syncs and closes the file.
+func (s *Store) Close() error {
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

@@ -1,0 +1,114 @@
+package chain
+
+import (
+	"testing"
+
+	"blockpilot/internal/evm"
+	"blockpilot/internal/evm/asm"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+)
+
+// counterInit deploys a contract whose runtime increments storage slot 0 on
+// every call. Runtime: PUSH1 0 SLOAD PUSH1 1 ADD PUSH1 0 SSTORE STOP
+// = 6000 54 6001 01 6000 55 00 (11 bytes).
+var counterInit = asm.MustAssemble(`
+	PUSH32 0x6000546001016000550000000000000000000000000000000000000000000000
+	PUSH1 0
+	MSTORE
+	PUSH1 9
+	PUSH1 0
+	RETURN
+`)
+
+func deployTx(nonce uint64) *types.Transaction {
+	tx := &types.Transaction{
+		Nonce:          nonce,
+		Gas:            500_000,
+		Data:           counterInit,
+		From:           alice,
+		CreateContract: true,
+	}
+	tx.GasPrice.SetUint64(1)
+	return tx
+}
+
+func TestDeploymentTransaction(t *testing.T) {
+	gen := testGenesis()
+	o := state.NewOverlay(gen, 0)
+	tx := deployTx(0)
+	receipt, _, err := ApplyTransaction(o, tx, evm.BlockContext{GasLimit: 1e7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipt.Status != 1 {
+		t.Fatalf("deploy reverted: %x", receipt.ReturnData)
+	}
+	want := types.CreateAddress(alice, 0)
+	if receipt.ContractAddress != want {
+		t.Fatalf("contract address = %s, want %s", receipt.ContractAddress, want)
+	}
+	if len(o.GetCode(want)) != 9 {
+		t.Fatalf("deployed code = %x", o.GetCode(want))
+	}
+	// Intrinsic charge includes the 32000 creation surcharge.
+	if receipt.GasUsed < evm.TxGas+evm.GasCreate {
+		t.Fatalf("gas used %d below create intrinsic", receipt.GasUsed)
+	}
+
+	// Call the deployed counter twice.
+	for i := uint64(1); i <= 2; i++ {
+		call := &types.Transaction{Nonce: i, Gas: 100_000, To: want, From: alice}
+		call.GasPrice.SetUint64(1)
+		r, _, err := ApplyTransaction(o, call, evm.BlockContext{GasLimit: 1e7})
+		if err != nil || r.Status != 1 {
+			t.Fatalf("call %d failed: %v %+v", i, err, r)
+		}
+	}
+	if v := o.GetState(want, types.Hash{}); !v.Eq(u(2)) {
+		t.Fatalf("counter = %s", v.String())
+	}
+}
+
+func TestDeployInBlockSerialAndRoots(t *testing.T) {
+	gen := testGenesis()
+	params := DefaultParams()
+	header := &types.Header{Number: 1, Coinbase: miner, GasLimit: params.GasLimit}
+	txs := []*types.Transaction{
+		deployTx(0),
+		transferTx(1, alice, bob, 5, 1),
+	}
+	res, err := ExecuteSerial(gen, header, txs, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contract := types.CreateAddress(alice, 0)
+	if len(res.State.Code(contract)) == 0 {
+		t.Fatal("committed state missing deployed code")
+	}
+	// Sealing and serial verification round-trip.
+	parentH := &types.Header{Number: 0, StateRoot: gen.Root(), GasLimit: params.GasLimit}
+	header.ParentHash = parentH.Hash()
+	res2, err := ExecuteSerial(gen, header, txs, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := SealBlock(parentH, miner, 0, txs, res2, params)
+	if _, err := VerifyBlockSerial(gen, parentH, block, params); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestDeployTxEncodingRoundTrip(t *testing.T) {
+	tx := deployTx(3)
+	dec, err := types.DecodeTransaction(tx.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.CreateContract || dec.Nonce != 3 || dec.From != alice {
+		t.Fatalf("decoded = %+v", dec)
+	}
+	if dec.Hash() != tx.Hash() {
+		t.Fatal("hash mismatch")
+	}
+}

@@ -1,0 +1,127 @@
+package chain
+
+import (
+	"fmt"
+
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// ProcessResult is the outcome of executing a block's transactions.
+type ProcessResult struct {
+	State    *state.Snapshot // committed post-state
+	Receipts []*types.Receipt
+	GasUsed  uint64
+	Fees     uint256.Int // total fees credited to the coinbase
+	Profile  *types.BlockProfile
+	Changes  *state.ChangeSet // everything applied, including finalization
+}
+
+// ExecuteSerial executes transactions in order against parent — one overlay
+// per transaction over an accumulating in-memory state. This is the Geth
+// baseline executor and the reference semantics every parallel executor in
+// BlockPilot must reproduce bit-for-bit (same post-state root).
+func ExecuteSerial(parent *state.Snapshot, header *types.Header, txs []*types.Transaction, params Params) (*ProcessResult, error) {
+	bc := BlockContextFor(header, params.ChainID)
+	accum := state.NewMemory(parent)
+	total := state.NewChangeSet()
+	res := &ProcessResult{Profile: &types.BlockProfile{}}
+
+	for i, tx := range txs {
+		o := state.NewOverlay(accum, types.Version(i))
+		receipt, fee, err := ApplyTransaction(o, tx, bc)
+		if err != nil {
+			return nil, fmt.Errorf("tx %d (%s): %w", i, tx.Hash(), err)
+		}
+		res.GasUsed += receipt.GasUsed
+		if res.GasUsed > header.GasLimit {
+			return nil, fmt.Errorf("tx %d: %w", i, ErrGasLimitReached)
+		}
+		receipt.CumulativeGasUsed = res.GasUsed
+		res.Receipts = append(res.Receipts, receipt)
+		res.Fees.Add(&res.Fees, fee)
+		res.Profile.Txs = append(res.Profile.Txs, types.ProfileFromAccessSet(o.Access(), receipt.GasUsed))
+
+		cs := o.ChangeSet()
+		accum.ApplyChangeSet(cs)
+		total.Merge(cs)
+	}
+
+	// Finalization: credit aggregated fees plus the block reward to the
+	// coinbase as a single commutative delta (outside conflict detection).
+	final := FinalizationChange(accum, header.Coinbase, &res.Fees, params)
+	total.Merge(final)
+
+	res.State = parent.Commit(total)
+	res.Changes = total
+	return res, nil
+}
+
+// FinalizationChange builds the coinbase credit (fees + block reward) as a
+// change set, reading the coinbase's current balance from accum.
+func FinalizationChange(accum *state.Memory, coinbase types.Address, fees *uint256.Int, params Params) *state.ChangeSet {
+	var reward uint256.Int
+	reward.SetUint64(params.BlockReward)
+	reward.Add(&reward, fees)
+
+	bal := accum.Balance(coinbase)
+	bal.Add(&bal, &reward)
+	cs := state.NewChangeSet()
+	cs.Accounts[coinbase] = &state.AccountChange{
+		Nonce:   accum.Nonce(coinbase),
+		Balance: bal,
+	}
+	return cs
+}
+
+// SealBlock assembles a block from execution results.
+func SealBlock(parent *types.Header, coinbase types.Address, time uint64,
+	txs []*types.Transaction, res *ProcessResult, params Params) *types.Block {
+	header := types.Header{
+		ParentHash:  parent.Hash(),
+		Number:      parent.Number + 1,
+		Coinbase:    coinbase,
+		StateRoot:   res.State.Root(),
+		TxRoot:      types.ComputeTxRoot(txs),
+		ReceiptRoot: types.ComputeReceiptRoot(res.Receipts),
+		LogsBloom:   types.CreateBloom(res.Receipts),
+		GasLimit:    params.GasLimit,
+		GasUsed:     res.GasUsed,
+		Time:        time,
+	}
+	return &types.Block{Header: header, Txs: txs, Profile: res.Profile}
+}
+
+// VerifyBlockSerial is the baseline validator: it re-executes the block
+// serially and checks every header commitment. It returns the process
+// result so the caller can commit the verified state.
+func VerifyBlockSerial(parent *state.Snapshot, parentHeader *types.Header, block *types.Block, params Params) (*ProcessResult, error) {
+	h := &block.Header
+	if h.ParentHash != parentHeader.Hash() {
+		return nil, fmt.Errorf("chain: parent hash mismatch")
+	}
+	if h.Number != parentHeader.Number+1 {
+		return nil, fmt.Errorf("chain: height %d does not follow %d", h.Number, parentHeader.Number)
+	}
+	if got := types.ComputeTxRoot(block.Txs); got != h.TxRoot {
+		return nil, fmt.Errorf("chain: tx root mismatch: %s != %s", got, h.TxRoot)
+	}
+	res, err := ExecuteSerial(parent, h, block.Txs, params)
+	if err != nil {
+		return nil, err
+	}
+	if res.GasUsed != h.GasUsed {
+		return nil, fmt.Errorf("chain: gas used %d != header %d", res.GasUsed, h.GasUsed)
+	}
+	if got := types.ComputeReceiptRoot(res.Receipts); got != h.ReceiptRoot {
+		return nil, fmt.Errorf("chain: receipt root mismatch")
+	}
+	if got := types.CreateBloom(res.Receipts); got != h.LogsBloom {
+		return nil, fmt.Errorf("chain: logs bloom mismatch")
+	}
+	if got := res.State.Root(); got != h.StateRoot {
+		return nil, fmt.Errorf("chain: state root mismatch: %s != %s", got, h.StateRoot)
+	}
+	return res, nil
+}

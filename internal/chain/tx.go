@@ -1,0 +1,141 @@
+// Package chain implements the blockchain substrate: canonical transaction
+// application semantics (shared verbatim by the serial baseline, the
+// OCC-WSI proposer workers and the validator workers — that is what makes
+// parallel replay byte-identical to serial execution), block sealing, the
+// serial block processor, and the chain/fork container.
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"blockpilot/internal/evm"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// Transaction validity errors (the transaction cannot be included at all —
+// distinct from an included transaction whose EVM execution failed).
+var (
+	ErrNonceTooLow       = errors.New("chain: nonce too low")
+	ErrNonceTooHigh      = errors.New("chain: nonce too high")
+	ErrInsufficientFunds = errors.New("chain: insufficient funds for gas * price + value")
+	ErrIntrinsicGas      = errors.New("chain: intrinsic gas exceeds gas limit")
+	ErrGasLimitReached   = errors.New("chain: block gas limit reached")
+)
+
+// Params are chain-wide constants.
+type Params struct {
+	ChainID     uint64
+	GasLimit    uint64 // block gas limit
+	BlockReward uint64 // credited to the coinbase at block finalization
+}
+
+// DefaultParams mirrors a mainnet-ish configuration.
+func DefaultParams() Params {
+	return Params{ChainID: 1, GasLimit: 30_000_000, BlockReward: 2_000_000_000}
+}
+
+// BlockContextFor builds the EVM block context for a header.
+func BlockContextFor(h *types.Header, chainID uint64) evm.BlockContext {
+	return evm.BlockContext{
+		Coinbase: h.Coinbase,
+		Number:   h.Number,
+		Time:     h.Time,
+		GasLimit: h.GasLimit,
+		ChainID:  chainID,
+	}
+}
+
+// ApplyTransaction executes one transaction on the overlay under the given
+// block context. On success it returns the receipt and the fee
+// (gasUsed × gasPrice) owed to the coinbase.
+//
+// The coinbase is deliberately NOT credited here: BlockPilot aggregates fees
+// outside conflict detection (a commutative per-block delta), otherwise
+// every transaction would conflict on the coinbase account and no block
+// could ever be parallelized (see DESIGN.md §4).
+//
+// An error return means the transaction is invalid in this state and must
+// not be included (or, for the validator, that the block is invalid). EVM
+// execution failures (revert, out of gas) do NOT return an error: the
+// transaction is included with Status == 0 and its gas is consumed.
+func ApplyTransaction(o *state.Overlay, tx *types.Transaction, bc evm.BlockContext) (*types.Receipt, *uint256.Int, error) {
+	nonce := o.GetNonce(tx.From)
+	switch {
+	case tx.Nonce < nonce:
+		return nil, nil, fmt.Errorf("%w: have %d, tx %d", ErrNonceTooLow, nonce, tx.Nonce)
+	case tx.Nonce > nonce:
+		return nil, nil, fmt.Errorf("%w: have %d, tx %d", ErrNonceTooHigh, nonce, tx.Nonce)
+	}
+	intrinsic := evm.IntrinsicGas(tx.Data)
+	if tx.CreateContract {
+		intrinsic += evm.GasCreate
+	}
+	if tx.Gas < intrinsic {
+		return nil, nil, fmt.Errorf("%w: limit %d, need %d", ErrIntrinsicGas, tx.Gas, intrinsic)
+	}
+	balance := o.GetBalance(tx.From)
+	cost := tx.Cost()
+	if balance.Lt(&cost) {
+		return nil, nil, fmt.Errorf("%w: balance %s, cost %s", ErrInsufficientFunds, balance.String(), cost.String())
+	}
+
+	// Buy gas and bump the nonce.
+	var gasVal, prepaid uint256.Int
+	gasVal.SetUint64(tx.Gas)
+	prepaid.Mul(&tx.GasPrice, &gasVal)
+	o.SubBalance(tx.From, &prepaid)
+	o.SetNonce(tx.From, nonce+1)
+	o.ResetRefund()
+
+	logStart := len(o.Logs())
+	e := evm.New(o, bc, evm.TxContext{Origin: tx.From, GasPrice: tx.GasPrice})
+	var (
+		ret          []byte
+		gasLeft      uint64
+		vmErr        error
+		contractAddr types.Address
+	)
+	if tx.CreateContract {
+		// Deployment: the nonce consumed above also determines the address.
+		contractAddr = types.CreateAddress(tx.From, nonce)
+		ret, _, gasLeft, vmErr = e.CreateAt(tx.From, tx.Data, tx.Gas-intrinsic, &tx.Value, contractAddr)
+	} else {
+		ret, gasLeft, vmErr = e.Call(tx.From, tx.To, tx.Data, tx.Gas-intrinsic, &tx.Value)
+	}
+
+	gasUsed := tx.Gas - gasLeft
+	// EIP-3529-style cap: refunds repay at most half the gas used.
+	refund := o.GetRefund()
+	if refund > gasUsed/2 {
+		refund = gasUsed / 2
+	}
+	gasUsed -= refund
+
+	// Return unused gas (including the refund) to the sender.
+	var back, backVal uint256.Int
+	backVal.SetUint64(tx.Gas - gasUsed)
+	back.Mul(&tx.GasPrice, &backVal)
+	o.AddBalance(tx.From, &back)
+
+	var fee, feeVal uint256.Int
+	feeVal.SetUint64(gasUsed)
+	fee.Mul(&tx.GasPrice, &feeVal)
+
+	receipt := &types.Receipt{
+		TxHash:     tx.Hash(),
+		Status:     1,
+		GasUsed:    gasUsed,
+		ReturnData: ret,
+		Logs:       append([]*types.Log(nil), o.TakeLogs(logStart)...),
+	}
+	if vmErr != nil {
+		receipt.Status = 0
+		receipt.Logs = nil
+	} else if tx.CreateContract {
+		receipt.ContractAddress = contractAddr
+	}
+	return receipt, &fee, nil
+}

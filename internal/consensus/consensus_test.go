@@ -1,0 +1,72 @@
+package consensus
+
+import (
+	"testing"
+
+	"blockpilot/internal/types"
+)
+
+func proposerSet(n int) []types.Address {
+	out := make([]types.Address, n)
+	for i := range out {
+		out[i] = types.BytesToAddress([]byte{byte(i + 1)})
+	}
+	return out
+}
+
+func TestNoForksAtZeroProbability(t *testing.T) {
+	e := NewEngine(1, proposerSet(5), 0, 3)
+	for r := uint64(0); r < 200; r++ {
+		if got := e.ProposersForRound(r); len(got) != 1 {
+			t.Fatalf("round %d forked with probability 0", r)
+		}
+	}
+}
+
+func TestForkRateApproximatesProbability(t *testing.T) {
+	e := NewEngine(2, proposerSet(8), 0.3, 3)
+	forks := 0
+	const rounds = 5000
+	for r := uint64(0); r < rounds; r++ {
+		if len(e.ProposersForRound(r)) > 1 {
+			forks++
+		}
+	}
+	rate := float64(forks) / rounds
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("fork rate = %.3f, want ≈0.3", rate)
+	}
+}
+
+func TestForkProposersDistinct(t *testing.T) {
+	e := NewEngine(3, proposerSet(4), 1.0, 4)
+	for r := uint64(0); r < 300; r++ {
+		ps := e.ProposersForRound(r)
+		if len(ps) < 2 {
+			t.Fatal("probability 1 did not fork")
+		}
+		seen := map[types.Address]bool{}
+		for _, p := range ps {
+			if seen[p] {
+				t.Fatalf("round %d elected %s twice", r, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	a := NewEngine(7, proposerSet(6), 0.5, 3)
+	b := NewEngine(7, proposerSet(6), 0.5, 3)
+	for r := uint64(0); r < 100; r++ {
+		pa, pb := a.ProposersForRound(r), b.ProposersForRound(r)
+		if len(pa) != len(pb) {
+			t.Fatal("schedules diverge")
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatal("schedules diverge")
+			}
+		}
+	}
+}

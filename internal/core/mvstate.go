@@ -1,0 +1,224 @@
+// Package core implements BlockPilot's primary contribution for the
+// proposing context: the OCC-WSI engine (paper Algorithm 1). Worker threads
+// speculatively execute pending transactions against versioned snapshots of
+// a multi-version state; a reserve table maps every state key to the version
+// of its last committed write; commit validation aborts any transaction
+// whose read set has been overwritten since its snapshot (Write Snapshot
+// Isolation), pushing it back into the pending pool. Committed transactions
+// are appended to the block in commit order together with their read/write
+// sets (the block profile).
+package core
+
+import (
+	"sync"
+
+	"blockpilot/internal/crypto"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// accountVersion is one committed value of an account's scalar fields.
+type accountVersion struct {
+	version types.Version
+	nonce   uint64
+	balance uint256.Int
+	code    []byte
+	codeSet bool
+	exists  bool
+}
+
+// slotEntry is one committed value of a storage slot.
+type slotEntry struct {
+	version types.Version
+	value   uint256.Int
+}
+
+type slotKey struct {
+	addr types.Address
+	slot types.Hash
+}
+
+// MVState is the proposer's shared multi-version state: the parent snapshot
+// plus, per key, the append-only list of committed versions. Reads at
+// snapshot version v return the newest value with version ≤ v, so a worker's
+// view stays consistent while other workers commit (paper's
+// "snapshot(thread, version) ← State(version)").
+type MVState struct {
+	mu       sync.RWMutex
+	base     *state.Snapshot
+	accounts map[types.Address][]accountVersion
+	slots    map[slotKey][]slotEntry
+	reserve  map[types.StateKey]types.Version // Alg. 1's Table
+	version  types.Version                    // latest committed version
+	flat     *state.ChangeSet                 // running merge of all commits
+}
+
+// NewMVState wraps a committed parent snapshot.
+func NewMVState(base *state.Snapshot) *MVState {
+	return &MVState{
+		base:     base,
+		accounts: make(map[types.Address][]accountVersion),
+		slots:    make(map[slotKey][]slotEntry),
+		reserve:  make(map[types.StateKey]types.Version),
+		flat:     state.NewChangeSet(),
+	}
+}
+
+// Version returns the latest committed version (0 = parent state only).
+func (mv *MVState) Version() types.Version {
+	mv.mu.RLock()
+	defer mv.mu.RUnlock()
+	return mv.version
+}
+
+// View returns a state.Reader pinned at snapshot version v.
+func (mv *MVState) View(v types.Version) state.Reader {
+	return &mvView{mv: mv, at: v}
+}
+
+// TryCommit implements Algorithm 1's DetectConflict + commit: it validates
+// the access set against the reserve table and, when clean, installs the
+// write set as the next version and updates the reserve table. It returns
+// the assigned version (the transaction's sequence in the block) and
+// whether the commit succeeded.
+func (mv *MVState) TryCommit(access *types.AccessSet, cs *state.ChangeSet) (types.Version, bool) {
+	mv.mu.Lock()
+	defer mv.mu.Unlock()
+	for key, readVersion := range access.Reads {
+		if mv.reserve[key] > readVersion {
+			return 0, false // stale read: abort back to the pool
+		}
+	}
+	mv.version++
+	v := mv.version
+	for addr, ch := range cs.Accounts {
+		av := accountVersion{
+			version: v,
+			nonce:   ch.Nonce,
+			balance: ch.Balance,
+			exists:  true,
+		}
+		if ch.CodeSet {
+			av.code, av.codeSet = ch.Code, true
+		}
+		mv.accounts[addr] = append(mv.accounts[addr], av)
+		for slot, val := range ch.Storage {
+			k := slotKey{addr: addr, slot: slot}
+			mv.slots[k] = append(mv.slots[k], slotEntry{version: v, value: val})
+		}
+	}
+	// Reserve every recorded write key — including writes whose final value
+	// equals the base (conservative, and deterministic across replays).
+	for key := range access.Writes {
+		mv.reserve[key] = v
+	}
+	mv.flat.Merge(cs)
+	return v, true
+}
+
+// Flatten returns the merged change set of all commits so far. The caller
+// must be done committing (proposer finalization).
+func (mv *MVState) Flatten() *state.ChangeSet {
+	mv.mu.Lock()
+	defer mv.mu.Unlock()
+	return mv.flat
+}
+
+// Latest returns a Reader over the newest committed version (finalization).
+func (mv *MVState) Latest() state.Reader {
+	return &mvView{mv: mv, at: ^types.Version(0)}
+}
+
+// mvView is a read-only view of MVState at one snapshot version.
+type mvView struct {
+	mv *MVState
+	at types.Version
+}
+
+// lookupAccount returns the newest account version ≤ at, or nil.
+func (v *mvView) lookupAccount(addr types.Address) *accountVersion {
+	list := v.mv.accounts[addr]
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].version <= v.at {
+			return &list[i]
+		}
+	}
+	return nil
+}
+
+// Nonce implements state.Reader.
+func (v *mvView) Nonce(addr types.Address) uint64 {
+	v.mv.mu.RLock()
+	defer v.mv.mu.RUnlock()
+	if a := v.lookupAccount(addr); a != nil {
+		return a.nonce
+	}
+	return v.mv.base.Nonce(addr)
+}
+
+// Balance implements state.Reader.
+func (v *mvView) Balance(addr types.Address) uint256.Int {
+	v.mv.mu.RLock()
+	defer v.mv.mu.RUnlock()
+	if a := v.lookupAccount(addr); a != nil {
+		return a.balance
+	}
+	return v.mv.base.Balance(addr)
+}
+
+// Code implements state.Reader. Committed versions rarely carry code (no
+// deploys in flight): fall through unless one explicitly set it.
+func (v *mvView) Code(addr types.Address) []byte {
+	v.mv.mu.RLock()
+	defer v.mv.mu.RUnlock()
+	list := v.mv.accounts[addr]
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].version <= v.at && list[i].codeSet {
+			return list[i].code
+		}
+	}
+	return v.mv.base.Code(addr)
+}
+
+// CodeHash implements state.Reader.
+func (v *mvView) CodeHash(addr types.Address) types.Hash {
+	v.mv.mu.RLock()
+	defer v.mv.mu.RUnlock()
+	list := v.mv.accounts[addr]
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].version <= v.at && list[i].codeSet {
+			return types.Hash(crypto.Sum256(list[i].code))
+		}
+	}
+	if a := v.lookupAccount(addr); a != nil {
+		if h := v.mv.base.CodeHash(addr); h != (types.Hash{}) {
+			return h
+		}
+		return state.EmptyCodeHash
+	}
+	return v.mv.base.CodeHash(addr)
+}
+
+// Storage implements state.Reader.
+func (v *mvView) Storage(addr types.Address, slot types.Hash) uint256.Int {
+	v.mv.mu.RLock()
+	defer v.mv.mu.RUnlock()
+	list := v.mv.slots[slotKey{addr: addr, slot: slot}]
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].version <= v.at {
+			return list[i].value
+		}
+	}
+	return v.mv.base.Storage(addr, slot)
+}
+
+// Exists implements state.Reader.
+func (v *mvView) Exists(addr types.Address) bool {
+	v.mv.mu.RLock()
+	defer v.mv.mu.RUnlock()
+	if a := v.lookupAccount(addr); a != nil {
+		return a.exists
+	}
+	return v.mv.base.Exists(addr)
+}

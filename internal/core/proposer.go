@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"blockpilot/internal/chain"
+	"blockpilot/internal/mempool"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// ProposerConfig configures the OCC-WSI proposer engine.
+type ProposerConfig struct {
+	Threads    int
+	Coinbase   types.Address
+	Time       uint64
+	MaxRetries int // aborts allowed per transaction before it is dropped
+	// AccountLevelKeys coarsens the reserve table to whole accounts
+	// (ablation, DESIGN.md §5.1): two transactions touching different
+	// storage slots of one contract then conflict and one aborts. The
+	// default (false) uses the paper's account+slot granularity.
+	AccountLevelKeys bool
+}
+
+// CoarsenAccessSet maps every key of an access set to its account-level key
+// (the reserve-table granularity ablation).
+func CoarsenAccessSet(a *types.AccessSet) *types.AccessSet {
+	c := types.NewAccessSet()
+	for k, v := range a.Reads {
+		c.NoteRead(types.AccountKey(k.Addr), v)
+	}
+	for k := range a.Writes {
+		c.NoteWrite(types.AccountKey(k.Addr))
+	}
+	return c
+}
+
+// DefaultMaxRetries bounds livelock from pathologically conflicting txs.
+const DefaultMaxRetries = 128
+
+// ProposeResult is the outcome of packing one block.
+type ProposeResult struct {
+	Block    *types.Block
+	Receipts []*types.Receipt
+	State    *state.Snapshot // committed post-state
+	Fees     uint256.Int
+	GasUsed  uint64
+
+	// Stats for the evaluation harness.
+	Committed int // transactions packed
+	Aborts    int // WSI conflict aborts (re-queued and retried)
+	Dropped   int // transactions abandoned (invalid or retry cap)
+}
+
+// committedTx is one packed transaction awaiting block assembly.
+type committedTx struct {
+	version types.Version
+	tx      *types.Transaction
+	receipt *types.Receipt
+	profile *types.TxProfile
+}
+
+// Propose packs a new block from the pending pool using OCC-WSI parallel
+// execution (paper Algorithm 1). Worker threads pop transactions by gas
+// price, execute them against versioned snapshots, and commit through the
+// reserve-table validation; conflicted transactions return to the pool.
+// The block's transaction order is the commit (serialization) order, and
+// the block profile carries each transaction's read/write sets.
+func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.Pool,
+	cfg ProposerConfig, params chain.Params) (*ProposeResult, error) {
+
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	header := &types.Header{
+		ParentHash: parentHeader.Hash(),
+		Number:     parentHeader.Number + 1,
+		Coinbase:   cfg.Coinbase,
+		GasLimit:   params.GasLimit,
+		Time:       cfg.Time,
+	}
+	bc := chain.BlockContextFor(header, params.ChainID)
+	mv := NewMVState(parent)
+
+	var (
+		mu        sync.Mutex
+		committed []committedTx
+		gasUsed   uint64
+		fees      uint256.Int
+		aborts    atomic.Int64
+		dropped   atomic.Int64
+		gasFull   atomic.Bool
+		inFlight  atomic.Int64
+		retries   sync.Map // tx hash → *atomic.Int64
+	)
+
+	worker := func() {
+		for !gasFull.Load() {
+			tx := pool.Pop()
+			if tx == nil {
+				if inFlight.Load() == 0 {
+					return // pool drained and nobody can requeue
+				}
+				runtime.Gosched()
+				continue
+			}
+			inFlight.Add(1)
+			v := mv.Version()
+			overlay := state.NewOverlay(mv.View(v), v)
+			receipt, fee, err := chain.ApplyTransaction(overlay, tx, bc)
+			if err != nil {
+				switch {
+				case errors.Is(err, chain.ErrNonceTooHigh):
+					// An earlier-nonce tx aborted after this one was queued
+					// behind it: retry once the chain settles.
+					requeueOrDrop(pool, tx, &retries, cfg.MaxRetries, &dropped)
+				default:
+					// Nonce too low / unfunded: permanently invalid here.
+					pool.Done(tx)
+					dropped.Add(1)
+				}
+				inFlight.Add(-1)
+				continue
+			}
+
+			// Commit critical section (Alg. 1 DetectConflict, serialized by
+			// the MVState lock; block-side bookkeeping under mu).
+			mu.Lock()
+			if gasUsed+receipt.GasUsed > params.GasLimit {
+				gasFull.Store(true)
+				mu.Unlock()
+				pool.Requeue(tx) // leave it for the next block
+				inFlight.Add(-1)
+				return
+			}
+			commitView := overlay.Access()
+			if cfg.AccountLevelKeys {
+				commitView = CoarsenAccessSet(commitView)
+			}
+			version, ok := mv.TryCommit(commitView, overlay.ChangeSet())
+			if ok {
+				gasUsed += receipt.GasUsed
+				fees.Add(&fees, fee)
+				committed = append(committed, committedTx{
+					version: version,
+					tx:      tx,
+					receipt: receipt,
+					profile: types.ProfileFromAccessSet(overlay.Access(), receipt.GasUsed),
+				})
+			}
+			mu.Unlock()
+			if ok {
+				pool.Done(tx)
+			} else {
+				aborts.Add(1)
+				requeueOrDrop(pool, tx, &retries, cfg.MaxRetries, &dropped)
+			}
+			inFlight.Add(-1)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	wg.Wait()
+
+	// Assemble the block in commit (version) order.
+	sortByVersion(committed)
+	txs := make([]*types.Transaction, len(committed))
+	receipts := make([]*types.Receipt, len(committed))
+	profile := &types.BlockProfile{Txs: make([]*types.TxProfile, len(committed))}
+	var cumulative uint64
+	for i, c := range committed {
+		txs[i] = c.tx
+		cumulative += c.receipt.GasUsed
+		c.receipt.CumulativeGasUsed = cumulative
+		receipts[i] = c.receipt
+		profile.Txs[i] = c.profile
+	}
+
+	// Finalize: aggregate fee + reward credit to the coinbase, then commit.
+	total := mv.Flatten()
+	accum := state.NewMemory(parent)
+	accum.ApplyChangeSet(total)
+	total.Merge(chain.FinalizationChange(accum, cfg.Coinbase, &fees, params))
+	postState := parent.Commit(total)
+
+	header.GasUsed = gasUsed
+	header.StateRoot = postState.Root()
+	header.TxRoot = types.ComputeTxRoot(txs)
+	header.ReceiptRoot = types.ComputeReceiptRoot(receipts)
+	header.LogsBloom = types.CreateBloom(receipts)
+
+	return &ProposeResult{
+		Block:     &types.Block{Header: *header, Txs: txs, Profile: profile},
+		Receipts:  receipts,
+		State:     postState,
+		Fees:      fees,
+		GasUsed:   gasUsed,
+		Committed: len(committed),
+		Aborts:    int(aborts.Load()),
+		Dropped:   int(dropped.Load()),
+	}, nil
+}
+
+// requeueOrDrop retries tx unless it has exhausted its abort budget.
+func requeueOrDrop(pool *mempool.Pool, tx *types.Transaction, retries *sync.Map, maxRetries int, dropped *atomic.Int64) {
+	counter, _ := retries.LoadOrStore(tx.Hash(), new(atomic.Int64))
+	if counter.(*atomic.Int64).Add(1) > int64(maxRetries) {
+		pool.Done(tx)
+		dropped.Add(1)
+		return
+	}
+	pool.Requeue(tx)
+}
+
+// sortByVersion orders committed txs by their assigned serialization number.
+func sortByVersion(list []committedTx) {
+	// Versions are dense and unique; simple insertion-style sort via sort.Slice.
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && list[j].version < list[j-1].version; j-- {
+			list[j], list[j-1] = list[j-1], list[j]
+		}
+	}
+}

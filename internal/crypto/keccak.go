@@ -1,0 +1,145 @@
+// Package crypto implements the Keccak-256 hash used throughout Ethereum
+// for state roots, transaction hashes, storage-slot addressing and contract
+// addresses.
+//
+// This is legacy Keccak (multi-rate padding starting with 0x01), not the
+// NIST SHA3-256 variant (0x06): Ethereum predates FIPS 202 finalization.
+package crypto
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// roundConstants are the keccak-f[1600] iota round constants.
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
+	0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+	0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotationOffsets holds the rho-step rotation for lane (x, y) at index x+5y.
+var rotationOffsets = [25]int{
+	0, 1, 62, 28, 27,
+	36, 44, 6, 55, 20,
+	3, 10, 43, 25, 39,
+	41, 45, 15, 21, 8,
+	18, 2, 61, 56, 14,
+}
+
+// keccakF applies the 24-round keccak-f[1600] permutation in place.
+func keccakF(a *[25]uint64) {
+	for round := 0; round < 24; round++ {
+		// theta
+		var c [5]uint64
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d := c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
+			for y := 0; y < 25; y += 5 {
+				a[x+y] ^= d
+			}
+		}
+		// rho and pi
+		var b [25]uint64
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = bits.RotateLeft64(a[x+5*y], rotationOffsets[x+5*y])
+			}
+		}
+		// chi
+		for y := 0; y < 25; y += 5 {
+			for x := 0; x < 5; x++ {
+				a[x+y] = b[x+y] ^ (^b[(x+1)%5+y] & b[(x+2)%5+y])
+			}
+		}
+		// iota
+		a[0] ^= roundConstants[round]
+	}
+}
+
+// rate is the sponge rate in bytes for 256-bit output: 1600/8 - 2*32.
+const rate = 136
+
+// Keccak is a streaming Keccak-256 hasher. The zero value is ready to use.
+type Keccak struct {
+	state  [25]uint64
+	buf    [rate]byte
+	buffed int
+}
+
+// NewKeccak returns a new streaming Keccak-256 hasher.
+func NewKeccak() *Keccak { return &Keccak{} }
+
+// Reset restores the hasher to its initial state.
+func (k *Keccak) Reset() { *k = Keccak{} }
+
+// Write absorbs p into the sponge. It never fails.
+func (k *Keccak) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		c := copy(k.buf[k.buffed:], p)
+		k.buffed += c
+		p = p[c:]
+		if k.buffed == rate {
+			k.absorb()
+		}
+	}
+	return n, nil
+}
+
+// absorb XORs the full buffer into the state and permutes.
+func (k *Keccak) absorb() {
+	for i := 0; i < rate/8; i++ {
+		k.state[i] ^= binary.LittleEndian.Uint64(k.buf[i*8:])
+	}
+	keccakF(&k.state)
+	k.buffed = 0
+}
+
+// Sum appends the 32-byte digest to b. The hasher can keep absorbing
+// afterwards as if Sum had not been called.
+func (k *Keccak) Sum(b []byte) []byte {
+	// Work on a copy so the caller can continue writing.
+	dup := *k
+	// Legacy Keccak multi-rate padding: 0x01 ... 0x80 (possibly same byte).
+	dup.buf[dup.buffed] = 0x01
+	for i := dup.buffed + 1; i < rate; i++ {
+		dup.buf[i] = 0
+	}
+	dup.buf[rate-1] |= 0x80
+	dup.buffed = rate
+	dup.absorb()
+
+	var out [32]byte
+	for i := 0; i < 4; i++ {
+		binary.LittleEndian.PutUint64(out[i*8:], dup.state[i])
+	}
+	return append(b, out[:]...)
+}
+
+// Size returns the digest length in bytes.
+func (k *Keccak) Size() int { return 32 }
+
+// BlockSize returns the sponge rate in bytes.
+func (k *Keccak) BlockSize() int { return rate }
+
+// Keccak256 returns the Keccak-256 digest of the concatenation of the inputs.
+func Keccak256(data ...[]byte) []byte {
+	var k Keccak
+	for _, d := range data {
+		k.Write(d)
+	}
+	return k.Sum(nil)
+}
+
+// Sum256 returns the Keccak-256 digest of data as a fixed array.
+func Sum256(data []byte) [32]byte {
+	var out [32]byte
+	copy(out[:], Keccak256(data))
+	return out
+}

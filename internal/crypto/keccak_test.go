@@ -1,0 +1,114 @@
+package crypto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+// Known-answer vectors for legacy Keccak-256.
+var katVectors = []struct {
+	in   string
+	want string
+}{
+	{"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"},
+	{"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"},
+	{"The quick brown fox jumps over the lazy dog",
+		"4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"},
+	{"The quick brown fox jumps over the lazy dog.",
+		"578951e24efd62a3d63a86f7cd19aaa53c898fe287d2552133220370240b572d"},
+}
+
+func TestKnownAnswers(t *testing.T) {
+	for _, v := range katVectors {
+		got := hex.EncodeToString(Keccak256([]byte(v.in)))
+		if got != v.want {
+			t.Errorf("Keccak256(%q) = %s, want %s", v.in, got, v.want)
+		}
+	}
+}
+
+func TestStreamingMatchesOneShot(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for size := 0; size < 600; size += 7 {
+		data := make([]byte, size)
+		r.Read(data)
+		want := Keccak256(data)
+
+		k := NewKeccak()
+		// Write in random-sized chunks.
+		rest := data
+		for len(rest) > 0 {
+			n := r.Intn(len(rest)) + 1
+			k.Write(rest[:n])
+			rest = rest[n:]
+		}
+		if got := k.Sum(nil); !bytes.Equal(got, want) {
+			t.Fatalf("streaming mismatch at size %d", size)
+		}
+	}
+}
+
+func TestSumDoesNotDisturbState(t *testing.T) {
+	k := NewKeccak()
+	k.Write([]byte("hello "))
+	_ = k.Sum(nil) // mid-stream digest
+	k.Write([]byte("world"))
+	got := k.Sum(nil)
+	want := Keccak256([]byte("hello world"))
+	if !bytes.Equal(got, want) {
+		t.Fatal("Sum disturbed absorbing state")
+	}
+}
+
+func TestMultiInputConcat(t *testing.T) {
+	a, b := []byte("foo"), []byte("bar")
+	if !bytes.Equal(Keccak256(a, b), Keccak256([]byte("foobar"))) {
+		t.Fatal("multi-input Keccak256 is not concatenation")
+	}
+}
+
+func TestRateBoundary(t *testing.T) {
+	// Exactly rate-1, rate, rate+1 bytes exercise the padding edge cases.
+	for _, n := range []int{rate - 1, rate, rate + 1, 2 * rate} {
+		data := bytes.Repeat([]byte{0xa5}, n)
+		d1 := Keccak256(data)
+		k := NewKeccak()
+		for _, c := range data {
+			k.Write([]byte{c})
+		}
+		if !bytes.Equal(k.Sum(nil), d1) {
+			t.Fatalf("rate boundary mismatch at %d bytes", n)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	k := NewKeccak()
+	k.Write([]byte("junk"))
+	k.Reset()
+	k.Write([]byte("abc"))
+	want, _ := hex.DecodeString(katVectors[1].want)
+	if !bytes.Equal(k.Sum(nil), want) {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func BenchmarkKeccak256_32(b *testing.B) {
+	data := make([]byte, 32)
+	b.SetBytes(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}
+
+func BenchmarkKeccak256_1K(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}

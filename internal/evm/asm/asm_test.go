@@ -1,0 +1,108 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"blockpilot/internal/evm"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	code, err := Assemble("PUSH1 0x2a\nPUSH1 0\nSSTORE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x60, 0x2a, 0x60, 0x00, 0x55}
+	if len(code) != len(want) {
+		t.Fatalf("code = %x", code)
+	}
+	for i := range want {
+		if code[i] != want[i] {
+			t.Fatalf("code = %x, want %x", code, want)
+		}
+	}
+}
+
+func TestAutoWidthPush(t *testing.T) {
+	code, err := Assemble("PUSH 0x1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[0] != byte(evm.PUSH1+1) || code[1] != 0x12 || code[2] != 0x34 {
+		t.Fatalf("code = %x", code)
+	}
+	code, _ = Assemble("PUSH 0")
+	if code[0] != byte(evm.PUSH1) || code[1] != 0 {
+		t.Fatalf("PUSH 0 = %x", code)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	code, err := Assemble(`
+		PUSH @end
+		JUMP
+		STOP
+	end:
+		JUMPDEST
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PUSH2 xx xx JUMP STOP JUMPDEST → JUMPDEST at offset 5.
+	if code[0] != byte(evm.PUSH1+1) || code[1] != 0 || code[2] != 5 {
+		t.Fatalf("label addr = %x", code[:3])
+	}
+	if code[5] != byte(evm.JUMPDEST) {
+		t.Fatalf("code = %x", code)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"BOGUS",
+		"PUSH1",              // missing operand
+		"PUSH1 0x1234",       // doesn't fit
+		"ADD 1",              // unexpected operand
+		"PUSH @nowhere\nADD", // undefined label
+		"x:\nx:\nJUMPDEST",   // duplicate label
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	code, err := Assemble("ADD ; adds\nMUL // multiplies\n; whole line\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != 2 || code[0] != byte(evm.ADD) || code[1] != byte(evm.MUL) {
+		t.Fatalf("code = %x", code)
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	code, err := Assemble("DUP16\nSWAP3\nLOG2\nPUSH0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x8f, 0x92, 0xa2, 0x5f}
+	for i := range want {
+		if code[i] != want[i] {
+			t.Fatalf("code = %x", code)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := "PUSH2 0x0102\nADD\nSSTORE\nJUMPDEST"
+	code := MustAssemble(src)
+	dis := Disassemble(code)
+	for _, want := range []string{"PUSH2 0x0102", "ADD", "SSTORE", "JUMPDEST"} {
+		if !strings.Contains(dis, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}

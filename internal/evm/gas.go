@@ -1,0 +1,118 @@
+package evm
+
+import (
+	"math"
+
+	"blockpilot/internal/uint256"
+)
+
+// Gas schedule constants (Istanbul-flavoured legacy schedule; the absolute
+// values matter less than the ratios — storage ops dominate, which is what
+// makes gas a usable runtime proxy for the validator's scheduler).
+const (
+	GasQuickStep   = 2
+	GasFastestStep = 3
+	GasFastStep    = 5
+	GasMidStep     = 8
+	GasSlowStep    = 10
+
+	GasBalance        = 700
+	GasExtCode        = 700
+	GasSload          = 800
+	GasSstoreSet      = 20000 // zero → nonzero
+	GasSstoreReset    = 5000  // nonzero → anything
+	RefundSstoreClear = 15000
+
+	GasJumpdest = 1
+	GasSha3     = 30
+	GasSha3Word = 6
+	GasCopyWord = 3
+	GasExpByte  = 50
+
+	GasLog      = 375
+	GasLogTopic = 375
+	GasLogByte  = 8
+
+	GasCall           = 700
+	GasCallValue      = 9000
+	GasCallStipend    = 2300
+	GasCallNewAccount = 25000
+
+	GasCreate      = 32000
+	GasCodeDeposit = 200
+
+	// Intrinsic transaction costs.
+	TxGas         = 21000
+	TxDataZeroGas = 4
+	TxDataNonZero = 16
+
+	memoryGasLinear  = 3
+	memoryGasQuadDiv = 512
+)
+
+// IntrinsicGas returns the base cost of a transaction before execution.
+func IntrinsicGas(data []byte) uint64 {
+	gas := uint64(TxGas)
+	for _, b := range data {
+		if b == 0 {
+			gas += TxDataZeroGas
+		} else {
+			gas += TxDataNonZero
+		}
+	}
+	return gas
+}
+
+// memoryGasCost returns the incremental cost of growing memory to newSize
+// bytes. The quadratic term makes huge expansions prohibitive.
+func memoryGasCost(mem *Memory, newSize uint64) (uint64, bool) {
+	if newSize == 0 {
+		return 0, false
+	}
+	// Any size over 4 GiB would overflow the fee math; treat as OOG.
+	if newSize > 0x100000000 {
+		return 0, true
+	}
+	words := toWordSize(newSize)
+	if words*32 <= uint64(len(mem.store)) {
+		return 0, false
+	}
+	newTotal := words*memoryGasLinear + words*words/memoryGasQuadDiv
+	fee := newTotal - mem.lastGasCost
+	mem.lastGasCost = newTotal
+	return fee, false
+}
+
+// calcMemSize64 resolves offset+length from stack words to a uint64 size,
+// reporting overflow.
+func calcMemSize64(off, length *uint256.Int) (uint64, bool) {
+	if length.IsZero() {
+		return 0, false
+	}
+	if !off.IsUint64() || !length.IsUint64() {
+		return 0, true
+	}
+	size := off.Uint64() + length.Uint64()
+	if size < off.Uint64() { // wrapped
+		return 0, true
+	}
+	return size, false
+}
+
+// toWordSize rounds a byte size up to 32-byte words.
+func toWordSize(size uint64) uint64 {
+	if size > math.MaxUint64-31 {
+		return math.MaxUint64/32 + 1
+	}
+	return (size + 31) / 32
+}
+
+// callGas applies the EIP-150 63/64 rule: at most all-but-one-64th of the
+// remaining gas is forwarded to a callee.
+func callGas(available, requested uint64) uint64 {
+	cap := available - available/64
+	if requested < cap {
+		return requested
+	}
+	return cap
+}

@@ -1,0 +1,207 @@
+// Package evm implements a stack-machine bytecode interpreter for the
+// Ethereum Virtual Machine subset used by BlockPilot's workloads: full
+// arithmetic/bitwise/comparison words, keccak, memory, storage, control
+// flow, event logs, inter-contract CALL, and an Ethereum-like gas schedule.
+//
+// The gas schedule matters beyond fidelity: BlockPilot's validator assigns
+// transaction subgraphs to threads by gas weight, relying on the paper's
+// observation that gas is a good proxy for running time. That property
+// holds here because interpreter cost scales with gas consumed (storage
+// operations are both the most expensive and the slowest).
+package evm
+
+// OpCode is one EVM instruction byte.
+type OpCode byte
+
+// Supported opcodes.
+const (
+	STOP       OpCode = 0x00
+	ADD        OpCode = 0x01
+	MUL        OpCode = 0x02
+	SUB        OpCode = 0x03
+	DIV        OpCode = 0x04
+	SDIV       OpCode = 0x05
+	MOD        OpCode = 0x06
+	SMOD       OpCode = 0x07
+	ADDMOD     OpCode = 0x08
+	MULMOD     OpCode = 0x09
+	EXP        OpCode = 0x0a
+	SIGNEXTEND OpCode = 0x0b
+
+	LT     OpCode = 0x10
+	GT     OpCode = 0x11
+	SLT    OpCode = 0x12
+	SGT    OpCode = 0x13
+	EQ     OpCode = 0x14
+	ISZERO OpCode = 0x15
+	AND    OpCode = 0x16
+	OR     OpCode = 0x17
+	XOR    OpCode = 0x18
+	NOT    OpCode = 0x19
+	BYTE   OpCode = 0x1a
+	SHL    OpCode = 0x1b
+	SHR    OpCode = 0x1c
+	SAR    OpCode = 0x1d
+
+	SHA3 OpCode = 0x20
+
+	ADDRESS        OpCode = 0x30
+	BALANCE        OpCode = 0x31
+	ORIGIN         OpCode = 0x32
+	CALLER         OpCode = 0x33
+	CALLVALUE      OpCode = 0x34
+	CALLDATALOAD   OpCode = 0x35
+	CALLDATASIZE   OpCode = 0x36
+	CALLDATACOPY   OpCode = 0x37
+	CODESIZE       OpCode = 0x38
+	CODECOPY       OpCode = 0x39
+	GASPRICE       OpCode = 0x3a
+	EXTCODESIZE    OpCode = 0x3b
+	EXTCODECOPY    OpCode = 0x3c
+	RETURNDATASIZE OpCode = 0x3d
+	RETURNDATACOPY OpCode = 0x3e
+	EXTCODEHASH    OpCode = 0x3f
+
+	BLOCKHASH   OpCode = 0x40
+	COINBASE    OpCode = 0x41
+	TIMESTAMP   OpCode = 0x42
+	NUMBER      OpCode = 0x43
+	GASLIMIT    OpCode = 0x45
+	CHAINID     OpCode = 0x46
+	SELFBALANCE OpCode = 0x47
+
+	POP      OpCode = 0x50
+	MLOAD    OpCode = 0x51
+	MSTORE   OpCode = 0x52
+	MSTORE8  OpCode = 0x53
+	SLOAD    OpCode = 0x54
+	SSTORE   OpCode = 0x55
+	JUMP     OpCode = 0x56
+	JUMPI    OpCode = 0x57
+	PC       OpCode = 0x58
+	MSIZE    OpCode = 0x59
+	GAS      OpCode = 0x5a
+	JUMPDEST OpCode = 0x5b
+	PUSH0    OpCode = 0x5f
+
+	PUSH1  OpCode = 0x60
+	PUSH32 OpCode = 0x7f
+	DUP1   OpCode = 0x80
+	DUP16  OpCode = 0x8f
+	SWAP1  OpCode = 0x90
+	SWAP16 OpCode = 0x9f
+
+	LOG0 OpCode = 0xa0
+	LOG4 OpCode = 0xa4
+
+	CREATE       OpCode = 0xf0
+	CALL         OpCode = 0xf1
+	RETURN       OpCode = 0xf3
+	DELEGATECALL OpCode = 0xf4
+	CREATE2      OpCode = 0xf5
+	STATICCALL   OpCode = 0xfa
+	REVERT       OpCode = 0xfd
+	INVALID      OpCode = 0xfe
+)
+
+// opNames maps opcodes to mnemonics (diagnostics and the assembler).
+var opNames = map[OpCode]string{
+	STOP: "STOP", ADD: "ADD", MUL: "MUL", SUB: "SUB", DIV: "DIV", SDIV: "SDIV",
+	MOD: "MOD", SMOD: "SMOD", ADDMOD: "ADDMOD", MULMOD: "MULMOD", EXP: "EXP",
+	SIGNEXTEND: "SIGNEXTEND",
+	LT:         "LT", GT: "GT", SLT: "SLT", SGT: "SGT", EQ: "EQ", ISZERO: "ISZERO",
+	AND: "AND", OR: "OR", XOR: "XOR", NOT: "NOT", BYTE: "BYTE",
+	SHL: "SHL", SHR: "SHR", SAR: "SAR",
+	SHA3:    "SHA3",
+	ADDRESS: "ADDRESS", BALANCE: "BALANCE", ORIGIN: "ORIGIN", CALLER: "CALLER",
+	CALLVALUE: "CALLVALUE", CALLDATALOAD: "CALLDATALOAD", CALLDATASIZE: "CALLDATASIZE",
+	CALLDATACOPY: "CALLDATACOPY", CODESIZE: "CODESIZE", CODECOPY: "CODECOPY",
+	GASPRICE: "GASPRICE", EXTCODESIZE: "EXTCODESIZE", EXTCODECOPY: "EXTCODECOPY",
+	EXTCODEHASH:    "EXTCODEHASH",
+	RETURNDATASIZE: "RETURNDATASIZE", RETURNDATACOPY: "RETURNDATACOPY",
+	BLOCKHASH: "BLOCKHASH", COINBASE: "COINBASE", TIMESTAMP: "TIMESTAMP",
+	NUMBER: "NUMBER", GASLIMIT: "GASLIMIT", CHAINID: "CHAINID", SELFBALANCE: "SELFBALANCE",
+	POP: "POP", MLOAD: "MLOAD", MSTORE: "MSTORE", MSTORE8: "MSTORE8",
+	SLOAD: "SLOAD", SSTORE: "SSTORE", JUMP: "JUMP", JUMPI: "JUMPI",
+	PC: "PC", MSIZE: "MSIZE", GAS: "GAS", JUMPDEST: "JUMPDEST", PUSH0: "PUSH0",
+	LOG0: "LOG0", OpCode(0xa1): "LOG1", OpCode(0xa2): "LOG2",
+	OpCode(0xa3): "LOG3", LOG4: "LOG4",
+	CREATE: "CREATE", CALL: "CALL", RETURN: "RETURN", DELEGATECALL: "DELEGATECALL",
+	CREATE2: "CREATE2", STATICCALL: "STATICCALL",
+	REVERT: "REVERT", INVALID: "INVALID",
+}
+
+// String returns the mnemonic for op.
+func (op OpCode) String() string {
+	if name, ok := opNames[op]; ok {
+		return name
+	}
+	if op >= PUSH1 && op <= PUSH32 {
+		return "PUSH" + itoa(int(op-PUSH1)+1)
+	}
+	if op >= DUP1 && op <= DUP16 {
+		return "DUP" + itoa(int(op-DUP1)+1)
+	}
+	if op >= SWAP1 && op <= SWAP16 {
+		return "SWAP" + itoa(int(op-SWAP1)+1)
+	}
+	return "UNDEFINED(0x" + hexByte(byte(op)) + ")"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func hexByte(b byte) string {
+	const digits = "0123456789abcdef"
+	return string([]byte{digits[b>>4], digits[b&0xf]})
+}
+
+// OpByName resolves a mnemonic to its opcode (used by the assembler).
+func OpByName(name string) (OpCode, bool) {
+	for op, n := range opNames {
+		if n == name {
+			return op, true
+		}
+	}
+	// PUSHn / DUPn / SWAPn / LOGn families.
+	parse := func(prefix string, base OpCode, max int) (OpCode, bool) {
+		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+			return 0, false
+		}
+		n := 0
+		for _, c := range name[len(prefix):] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			n = n*10 + int(c-'0')
+		}
+		if n < 1 || n > max {
+			return 0, false
+		}
+		return base + OpCode(n-1), true
+	}
+	if op, ok := parse("PUSH", PUSH1, 32); ok {
+		return op, true
+	}
+	if op, ok := parse("DUP", DUP1, 16); ok {
+		return op, true
+	}
+	if op, ok := parse("SWAP", SWAP1, 16); ok {
+		return op, true
+	}
+	if op, ok := parse("LOG", LOG0+1, 4); ok {
+		return op, true
+	}
+	return 0, false
+}

@@ -1,0 +1,50 @@
+package evm
+
+import "blockpilot/internal/uint256"
+
+// stackLimit is the EVM's maximum stack depth.
+const stackLimit = 1024
+
+// Stack is the EVM operand stack of 256-bit words.
+type Stack struct {
+	data []uint256.Int
+}
+
+func newStack() *Stack {
+	return &Stack{data: make([]uint256.Int, 0, 16)}
+}
+
+func (s *Stack) len() int { return len(s.data) }
+
+func (s *Stack) push(v *uint256.Int) {
+	s.data = append(s.data, *v)
+}
+
+// pop removes and returns the top element. Depth is pre-checked by the
+// interpreter's minStack validation.
+func (s *Stack) pop() uint256.Int {
+	v := s.data[len(s.data)-1]
+	s.data = s.data[:len(s.data)-1]
+	return v
+}
+
+// peek returns a pointer to the top element (mutable in place).
+func (s *Stack) peek() *uint256.Int {
+	return &s.data[len(s.data)-1]
+}
+
+// back returns the n-th element from the top (0 = top).
+func (s *Stack) back(n int) *uint256.Int {
+	return &s.data[len(s.data)-1-n]
+}
+
+// dup pushes a copy of the n-th element from the top (1-based, DUPn).
+func (s *Stack) dup(n int) {
+	s.push(s.back(n - 1))
+}
+
+// swap exchanges the top with the n-th element below it (1-based, SWAPn).
+func (s *Stack) swap(n int) {
+	top := len(s.data) - 1
+	s.data[top], s.data[top-n] = s.data[top-n], s.data[top]
+}

@@ -1,0 +1,280 @@
+// Package mempool implements the proposer's pending transaction pool: a
+// gas-price max-heap (Algorithm 1's Heap) with per-sender nonce ordering.
+//
+// Invariant: for every sender with pending transactions, exactly one — the
+// lowest-nonce one — is resident in the price heap; the rest wait in a
+// nonce-sorted queue. Pop therefore returns the most valuable *executable*
+// transaction, which keeps the OCC-WSI abort rate low (two in-flight
+// transactions from one sender always conflict on the sender's account).
+// Aborted transactions re-enter through Requeue, exactly as Algorithm 1
+// pushes conflicted transactions back.
+//
+// The pool is safe for concurrent use by the proposer's worker threads.
+package mempool
+
+import (
+	"container/heap"
+	"errors"
+	"sort"
+	"sync"
+
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// item is one heap entry with its index for O(log n) removal.
+type item struct {
+	tx    *types.Transaction
+	index int
+}
+
+// Pool is a concurrent pending-transaction pool.
+type Pool struct {
+	mu        sync.Mutex
+	heap      priceHeap
+	residents map[types.Address]*item                // the sender's heap entry
+	queues    map[types.Address][]*types.Transaction // nonce-sorted backlog
+	inFlight  map[types.Address]int                  // popped, neither Done nor Requeued
+	count     int
+}
+
+// New returns an empty pool.
+func New() *Pool {
+	return &Pool{
+		residents: make(map[types.Address]*item),
+		queues:    make(map[types.Address][]*types.Transaction),
+		inFlight:  make(map[types.Address]int),
+	}
+}
+
+// Len returns the number of transactions currently held.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// PriceBumpPercent is the minimum price increase for a replacement
+// transaction (same sender and nonce) to evict the pending one.
+const PriceBumpPercent = 10
+
+// ErrReplaceUnderpriced rejects a same-nonce replacement whose gas price
+// does not exceed the pending transaction's by at least PriceBumpPercent.
+var ErrReplaceUnderpriced = errors.New("mempool: replacement transaction underpriced")
+
+// Add inserts a transaction. Transactions may arrive in any nonce order;
+// a lower nonce displaces the sender's current heap resident. A transaction
+// with the same (sender, nonce) as a pending one replaces it when its gas
+// price is at least PriceBumpPercent higher, and is rejected otherwise.
+func (p *Pool) Add(tx *types.Transaction) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.replaceIfPending(tx); err != nil {
+		if errors.Is(err, errReplaced) {
+			return nil
+		}
+		return err
+	}
+	p.count++
+	p.insert(tx)
+	return nil
+}
+
+// errReplaced signals that replaceIfPending already installed the tx.
+var errReplaced = errors.New("replaced")
+
+// replaceIfPending handles same-(sender, nonce) replacement (lock held).
+// Returns nil when no pending tx matches, errReplaced when the replacement
+// was installed, ErrReplaceUnderpriced when rejected.
+func (p *Pool) replaceIfPending(tx *types.Transaction) error {
+	s := tx.From
+	bumpOK := func(old *types.Transaction) bool {
+		// new price ≥ old price × (100 + bump) / 100, in integer math.
+		var threshold, hundred, factor uint256.Int
+		hundred.SetUint64(100)
+		factor.SetUint64(100 + PriceBumpPercent)
+		threshold.Mul(&old.GasPrice, &factor)
+		threshold.Div(&threshold, &hundred)
+		return tx.GasPrice.Gt(&threshold) || tx.GasPrice.Eq(&threshold)
+	}
+	if res := p.residents[s]; res != nil && res.tx.Nonce == tx.Nonce {
+		if !bumpOK(res.tx) {
+			return ErrReplaceUnderpriced
+		}
+		heap.Remove(&p.heap, res.index)
+		it := &item{tx: tx}
+		heap.Push(&p.heap, it)
+		p.residents[s] = it
+		return errReplaced
+	}
+	q := p.queues[s]
+	for i, old := range q {
+		if old.Nonce != tx.Nonce {
+			continue
+		}
+		if !bumpOK(old) {
+			return ErrReplaceUnderpriced
+		}
+		q[i] = tx
+		return errReplaced
+	}
+	return nil
+}
+
+// AddAll inserts a batch of transactions, ignoring underpriced replacements.
+func (p *Pool) AddAll(txs []*types.Transaction) {
+	for _, tx := range txs {
+		_ = p.Add(tx)
+	}
+}
+
+// Requeue returns an aborted in-flight transaction for retry. It clears one
+// in-flight slot for the sender; the transaction becomes eligible again once
+// no earlier in-flight transaction of the sender remains.
+func (p *Pool) Requeue(tx *types.Transaction) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.count++
+	p.decInFlight(tx.From)
+	p.insert(tx)
+	p.promote(tx.From)
+}
+
+// Done reports that a popped transaction is finished for good (committed or
+// permanently dropped), unblocking the sender's next nonce.
+func (p *Pool) Done(tx *types.Transaction) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.decInFlight(tx.From)
+	p.promote(tx.From)
+}
+
+func (p *Pool) decInFlight(s types.Address) {
+	if n := p.inFlight[s]; n <= 1 {
+		delete(p.inFlight, s)
+	} else {
+		p.inFlight[s] = n - 1
+	}
+}
+
+// promote moves the sender's queue head into the heap when the sender has
+// no in-flight transaction and no resident (lock held).
+func (p *Pool) promote(s types.Address) {
+	if p.inFlight[s] > 0 || p.residents[s] != nil {
+		return
+	}
+	q := p.queues[s]
+	if len(q) == 0 {
+		return
+	}
+	if len(q) == 1 {
+		delete(p.queues, s)
+	} else {
+		p.queues[s] = q[1:]
+	}
+	it := &item{tx: q[0]}
+	heap.Push(&p.heap, it)
+	p.residents[s] = it
+}
+
+// insert places tx as resident or into the queue (lock held). A sender with
+// an in-flight transaction never gets a resident: its successors would only
+// fail the nonce check until the in-flight one settles.
+func (p *Pool) insert(tx *types.Transaction) {
+	s := tx.From
+	if p.inFlight[s] > 0 {
+		p.queueInsert(s, tx)
+		return
+	}
+	res := p.residents[s]
+	if res == nil {
+		it := &item{tx: tx}
+		heap.Push(&p.heap, it)
+		p.residents[s] = it
+		return
+	}
+	if tx.Nonce < res.tx.Nonce {
+		// Demote the current resident to the queue and take its place.
+		heap.Remove(&p.heap, res.index)
+		p.queueInsert(s, res.tx)
+		it := &item{tx: tx}
+		heap.Push(&p.heap, it)
+		p.residents[s] = it
+		return
+	}
+	p.queueInsert(s, tx)
+}
+
+func (p *Pool) queueInsert(s types.Address, tx *types.Transaction) {
+	q := p.queues[s]
+	i := sort.Search(len(q), func(i int) bool { return q[i].Nonce >= tx.Nonce })
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = tx
+	p.queues[s] = q
+}
+
+// Pop removes and returns the highest-priced executable transaction, or nil
+// if none is currently executable. The popped transaction's sender is
+// blocked (its next nonce stays queued) until the caller settles the pop
+// with Done or Requeue.
+func (p *Pool) Pop() *types.Transaction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.heap.Len() == 0 {
+		return nil
+	}
+	it := heap.Pop(&p.heap).(*item)
+	p.count--
+	s := it.tx.From
+	delete(p.residents, s)
+	p.inFlight[s]++
+	return it.tx
+}
+
+// priceHeap orders items by gas price (descending), breaking ties by nonce
+// (ascending) then hash so the order is deterministic.
+type priceHeap []*item
+
+func (h priceHeap) Len() int { return len(h) }
+
+func (h priceHeap) Less(i, j int) bool {
+	a, b := h[i].tx, h[j].tx
+	switch a.GasPrice.Cmp(&b.GasPrice) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	if a.Nonce != b.Nonce {
+		return a.Nonce < b.Nonce
+	}
+	ha, hb := a.Hash(), b.Hash()
+	for k := 0; k < types.HashLength; k++ {
+		if ha[k] != hb[k] {
+			return ha[k] < hb[k]
+		}
+	}
+	return false
+}
+
+func (h priceHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *priceHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *priceHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

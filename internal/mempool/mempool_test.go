@@ -1,0 +1,279 @@
+package mempool
+
+import (
+	"sync"
+	"testing"
+
+	"blockpilot/internal/types"
+)
+
+func tx(sender byte, nonce uint64, price uint64) *types.Transaction {
+	t := &types.Transaction{
+		Nonce: nonce,
+		From:  types.BytesToAddress([]byte{sender}),
+		To:    types.BytesToAddress([]byte{0xff}),
+		Gas:   21000,
+	}
+	t.GasPrice.SetUint64(price)
+	return t
+}
+
+// popDone pops and immediately settles, for tests that don't exercise the
+// in-flight blocking.
+func popDone(p *Pool) *types.Transaction {
+	got := p.Pop()
+	if got != nil {
+		p.Done(got)
+	}
+	return got
+}
+
+func TestPopByPrice(t *testing.T) {
+	p := New()
+	p.Add(tx(1, 0, 10))
+	p.Add(tx(2, 0, 30))
+	p.Add(tx(3, 0, 20))
+	for _, want := range []uint64{30, 20, 10} {
+		got := popDone(p)
+		if got == nil || got.GasPrice.Uint64() != want {
+			t.Fatalf("pop price = %v, want %d", got, want)
+		}
+	}
+	if p.Pop() != nil {
+		t.Fatal("empty pool popped non-nil")
+	}
+}
+
+func TestNonceOrderingPerSender(t *testing.T) {
+	p := New()
+	// Higher nonce carries a higher price, but must not pop first.
+	p.Add(tx(1, 1, 100))
+	p.Add(tx(1, 0, 1))
+	first := popDone(p)
+	if first.Nonce != 0 {
+		t.Fatalf("popped nonce %d first", first.Nonce)
+	}
+	second := popDone(p)
+	if second.Nonce != 1 {
+		t.Fatalf("popped nonce %d second", second.Nonce)
+	}
+}
+
+func TestOutOfOrderAdd(t *testing.T) {
+	p := New()
+	p.Add(tx(1, 2, 5))
+	p.Add(tx(1, 0, 5))
+	p.Add(tx(1, 1, 5))
+	for want := uint64(0); want < 3; want++ {
+		got := popDone(p)
+		if got == nil || got.Nonce != want {
+			t.Fatalf("pop = %v, want nonce %d", got, want)
+		}
+	}
+}
+
+// TestInFlightBlocksSuccessor is the property the OCC-WSI engine relies on:
+// while a sender's transaction is popped but unsettled, the sender's next
+// nonce must not become executable (it could only fail the nonce check).
+func TestInFlightBlocksSuccessor(t *testing.T) {
+	p := New()
+	p.Add(tx(1, 0, 10))
+	p.Add(tx(1, 1, 10))
+	a := p.Pop()
+	if a.Nonce != 0 {
+		t.Fatal("setup")
+	}
+	if got := p.Pop(); got != nil {
+		t.Fatalf("successor nonce %d popped while predecessor in flight", got.Nonce)
+	}
+	p.Done(a)
+	if got := p.Pop(); got == nil || got.Nonce != 1 {
+		t.Fatalf("successor not released after Done: %v", got)
+	}
+}
+
+func TestInterleavedSenders(t *testing.T) {
+	p := New()
+	p.Add(tx(1, 0, 10))
+	p.Add(tx(1, 1, 50)) // queued behind nonce 0
+	p.Add(tx(2, 0, 20))
+	// Executable set is {s1/n0 @10, s2/n0 @20}: s2 first.
+	if got := popDone(p); got.From != types.BytesToAddress([]byte{2}) {
+		t.Fatalf("first pop from %v", got.From)
+	}
+	if got := popDone(p); got.Nonce != 0 {
+		t.Fatalf("second pop nonce %d", got.Nonce)
+	}
+	if got := popDone(p); got.Nonce != 1 || got.GasPrice.Uint64() != 50 {
+		t.Fatalf("third pop = %+v", got)
+	}
+}
+
+func TestRequeueReleasesChain(t *testing.T) {
+	p := New()
+	p.Add(tx(1, 0, 10))
+	p.Add(tx(1, 1, 99))
+	a := p.Pop()
+	p.Requeue(a)
+	b := p.Pop()
+	if b.Nonce != 0 {
+		t.Fatalf("pop after requeue = %d", b.Nonce)
+	}
+	p.Done(b)
+	c := p.Pop()
+	if c == nil || c.Nonce != 1 {
+		t.Fatalf("chain successor = %v", c)
+	}
+	p.Done(c)
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestLenAccounting(t *testing.T) {
+	p := New()
+	for i := uint64(0); i < 5; i++ {
+		p.Add(tx(1, i, 5))
+	}
+	if p.Len() != 5 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	x := p.Pop()
+	if p.Len() != 4 {
+		t.Fatalf("Len after pop = %d", p.Len())
+	}
+	p.Requeue(x)
+	if p.Len() != 5 {
+		t.Fatalf("Len after requeue = %d", p.Len())
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	build := func() []uint64 {
+		p := New()
+		for s := byte(1); s <= 10; s++ {
+			p.Add(tx(s, 0, 7)) // all same price
+		}
+		var order []uint64
+		for {
+			got := popDone(p)
+			if got == nil {
+				break
+			}
+			w := got.From.Word()
+			order = append(order, w.Uint64())
+		}
+		return order
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tie-break order not deterministic")
+		}
+	}
+}
+
+func TestConcurrentPopAll(t *testing.T) {
+	p := New()
+	const n = 2000
+	for s := byte(0); s < 100; s++ {
+		for nonce := uint64(0); nonce < n/100; nonce++ {
+			p.Add(tx(s+1, nonce, uint64(s)*3+nonce))
+		}
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := make(map[types.Hash]bool)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			misses := 0
+			for {
+				got := p.Pop()
+				if got == nil {
+					// Another worker may still settle a sender and unblock
+					// more txs; spin a little before giving up.
+					misses++
+					if misses > 1000 && p.Len() == 0 {
+						return
+					}
+					continue
+				}
+				misses = 0
+				mu.Lock()
+				if seen[got.Hash()] {
+					t.Error("duplicate pop")
+				}
+				seen[got.Hash()] = true
+				mu.Unlock()
+				p.Done(got)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Fatalf("popped %d, want %d", len(seen), n)
+	}
+}
+
+func TestReplacementByPriceBump(t *testing.T) {
+	p := New()
+	p.Add(tx(1, 0, 100))
+
+	// Underpriced replacement (same nonce, +5% < +10%) is rejected.
+	under := tx(1, 0, 105)
+	if err := p.Add(under); err == nil {
+		t.Fatal("underpriced replacement accepted")
+	}
+	// Sufficient bump replaces the resident.
+	better := tx(1, 0, 110)
+	if err := p.Add(better); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d after replacement", p.Len())
+	}
+	got := popDone(p)
+	if got.GasPrice.Uint64() != 110 {
+		t.Fatalf("popped price %d, want the replacement", got.GasPrice.Uint64())
+	}
+	if p.Pop() != nil {
+		t.Fatal("old transaction still pending")
+	}
+}
+
+func TestReplacementInQueue(t *testing.T) {
+	p := New()
+	p.Add(tx(1, 0, 50))
+	p.Add(tx(1, 1, 10)) // queued behind nonce 0
+	if err := p.Add(tx(1, 1, 10)); err == nil {
+		t.Fatal("queued same-price replacement accepted")
+	}
+	if err := p.Add(tx(1, 1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	popDone(p) // n0
+	got := popDone(p)
+	if got.Nonce != 1 || got.GasPrice.Uint64() != 20 {
+		t.Fatalf("queued replacement not applied: %+v", got)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func BenchmarkPoolPopRequeue(b *testing.B) {
+	p := New()
+	for i := 0; i < 1000; i++ {
+		p.Add(tx(byte(i%200), uint64(i/200), uint64(i%97)))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got := p.Pop()
+		if got == nil {
+			b.Fatal("empty")
+		}
+		p.Requeue(got)
+	}
+}

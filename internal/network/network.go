@@ -1,0 +1,113 @@
+// Package network is an in-process broadcast fabric connecting proposer and
+// validator nodes: every published block is delivered to every other node's
+// inbox, optionally after a simulated propagation delay. It stands in for
+// the devp2p gossip layer of the paper's Geth prototype — the execution
+// framework under test only cares that blocks arrive, possibly out of
+// order and in fork multiples.
+package network
+
+import (
+	"sync"
+	"time"
+
+	"blockpilot/internal/types"
+)
+
+// Message is one delivered broadcast.
+type Message struct {
+	From  string
+	Block *types.Block
+}
+
+// Network is the shared fabric.
+type Network struct {
+	mu      sync.Mutex
+	nodes   map[string]*Node
+	latency time.Duration
+	closed  bool
+	deliver sync.WaitGroup
+}
+
+// New creates a fabric with the given simulated propagation latency.
+func New(latency time.Duration) *Network {
+	return &Network{nodes: make(map[string]*Node), latency: latency}
+}
+
+// Node is one participant's endpoint.
+type Node struct {
+	name  string
+	net   *Network
+	inbox chan Message
+}
+
+// Join registers a node. Buffer bounds the inbox; publishing to a full
+// inbox drops the message for that node (slow-consumer semantics).
+func (n *Network) Join(name string, buffer int) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node := &Node{name: name, net: n, inbox: make(chan Message, buffer)}
+	n.nodes[name] = node
+	return node
+}
+
+// Inbox delivers broadcasts from other nodes.
+func (node *Node) Inbox() <-chan Message { return node.inbox }
+
+// Name returns the node's identity.
+func (node *Node) Name() string { return node.name }
+
+// Broadcast publishes a block to every other node.
+func (node *Node) Broadcast(block *types.Block) {
+	n := node.net
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	targets := make([]*Node, 0, len(n.nodes))
+	for name, other := range n.nodes {
+		if name != node.name {
+			targets = append(targets, other)
+		}
+	}
+	latency := n.latency
+	n.deliver.Add(len(targets))
+	n.mu.Unlock()
+
+	msg := Message{From: node.name, Block: block}
+	for _, t := range targets {
+		t := t
+		if latency == 0 {
+			n.send(t, msg)
+			continue
+		}
+		time.AfterFunc(latency, func() { n.send(t, msg) })
+	}
+}
+
+func (n *Network) send(t *Node, msg Message) {
+	defer n.deliver.Done()
+	select {
+	case t.inbox <- msg:
+	default: // slow consumer: drop
+	}
+}
+
+// Close flushes pending deliveries and closes every inbox.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	nodes := make([]*Node, 0, len(n.nodes))
+	for _, node := range n.nodes {
+		nodes = append(nodes, node)
+	}
+	n.mu.Unlock()
+	n.deliver.Wait()
+	for _, node := range nodes {
+		close(node.inbox)
+	}
+}

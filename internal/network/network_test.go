@@ -1,0 +1,73 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"blockpilot/internal/types"
+)
+
+func block(n uint64) *types.Block {
+	return &types.Block{Header: types.Header{Number: n}}
+}
+
+func TestBroadcastReachesAllOthers(t *testing.T) {
+	n := New(0)
+	a := n.Join("a", 10)
+	b := n.Join("b", 10)
+	c := n.Join("c", 10)
+	a.Broadcast(block(1))
+	n.Close()
+
+	for _, node := range []*Node{b, c} {
+		msg, ok := <-node.Inbox()
+		if !ok || msg.From != "a" || msg.Block.Number() != 1 {
+			t.Fatalf("%s received %+v", node.Name(), msg)
+		}
+	}
+	if _, ok := <-a.Inbox(); ok {
+		t.Fatal("sender received its own broadcast")
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	n := New(30 * time.Millisecond)
+	a := n.Join("a", 1)
+	b := n.Join("b", 1)
+	_ = a
+	start := time.Now()
+	a.Broadcast(block(1))
+	select {
+	case <-b.Inbox():
+		if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+			t.Fatalf("delivered after %v, want ≥ ~30ms", elapsed)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("never delivered")
+	}
+	n.Close()
+}
+
+func TestSlowConsumerDrops(t *testing.T) {
+	n := New(0)
+	a := n.Join("a", 10)
+	b := n.Join("b", 1) // room for one message only
+	a.Broadcast(block(1))
+	a.Broadcast(block(2))
+	a.Broadcast(block(3))
+	n.Close()
+	count := 0
+	for range b.Inbox() {
+		count++
+	}
+	if count != 1 {
+		t.Fatalf("slow consumer got %d messages, want 1", count)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	n := New(0)
+	n.Join("a", 1)
+	n.Close()
+	n.Close()
+}

@@ -1,0 +1,212 @@
+// Package pipeline implements BlockPilot's multi-block validator workflow
+// (paper §4.3, Fig. 5): a four-phase pipeline — preparation, transaction
+// execution, block validation, block commitment — that processes several
+// blocks concurrently.
+//
+// Blocks at the same height are independent (they share a validated parent
+// state) and overlap fully; a block only waits for its *parent* to finish
+// the validation phase. All in-flight blocks share one worker pool, so free
+// workers execute transactions regardless of which block they belong to.
+package pipeline
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"blockpilot/internal/chain"
+	"blockpilot/internal/types"
+	"blockpilot/internal/validator"
+)
+
+// ErrParentUnavailable fails blocks whose parent never validated.
+var ErrParentUnavailable = errors.New("pipeline: parent block never validated")
+
+// WorkerPool is the shared transaction-execution pool. Lanes (per-block
+// thread assignments) from every in-flight block queue here.
+type WorkerPool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+// NewWorkerPool starts n workers.
+func NewWorkerPool(n int) *WorkerPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &WorkerPool{tasks: make(chan func(), 4096)}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues one lane.
+func (p *WorkerPool) Submit(f func()) { p.tasks <- f }
+
+// Close drains and stops the workers.
+func (p *WorkerPool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// Outcome reports one block's passage through the pipeline.
+type Outcome struct {
+	Block   *types.Block
+	Result  *validator.Result
+	Err     error
+	Elapsed time.Duration // submission → commitment
+}
+
+// Pipeline validates submitted blocks with cross-height dependency
+// tracking: read Results for one Outcome per submitted block. The results
+// channel is buffered (4096); consume it before submitting more than that.
+type Pipeline struct {
+	chain   *chain.Chain
+	cfg     validator.Config
+	params  chain.Params
+	pool    *WorkerPool
+	ownPool bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	running int                            // active validations
+	waiting map[types.Hash][]*pendingBlock // parent hash → parked blocks
+
+	results chan Outcome
+}
+
+type pendingBlock struct {
+	block   *types.Block
+	arrived time.Time
+}
+
+// New builds a pipeline over a chain. cfg.Threads bounds each block's lane
+// count; pool is the shared execution pool (nil = create one with
+// cfg.Threads workers, owned and closed by the pipeline).
+func New(c *chain.Chain, cfg validator.Config, pool *WorkerPool) *Pipeline {
+	own := false
+	if pool == nil {
+		pool = NewWorkerPool(cfg.Threads)
+		own = true
+	}
+	cfg.Spawn = pool.Submit
+	p := &Pipeline{
+		chain:   c,
+		cfg:     cfg,
+		params:  c.Params(),
+		pool:    pool,
+		ownPool: own,
+		waiting: make(map[types.Hash][]*pendingBlock),
+		results: make(chan Outcome, 4096),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Results delivers one Outcome per submitted block.
+func (p *Pipeline) Results() <-chan Outcome { return p.results }
+
+// Submit hands a block to the pipeline. Blocks may arrive in any order; a
+// block waits until its parent has been validated, while blocks at the same
+// height proceed concurrently.
+func (p *Pipeline) Submit(block *types.Block) {
+	pb := &pendingBlock{block: block, arrived: time.Now()}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.chain.StateOf(block.Header.ParentHash) == nil {
+		p.waiting[block.Header.ParentHash] = append(p.waiting[block.Header.ParentHash], pb)
+		return
+	}
+	p.running++
+	go p.run(pb)
+}
+
+// run validates one block whose parent state is available.
+func (p *Pipeline) run(pb *pendingBlock) {
+	block := pb.block
+	parentBlock := p.chain.Block(block.Header.ParentHash)
+	parentState := p.chain.StateOf(block.Header.ParentHash)
+
+	res, err := validator.ValidateParallel(parentState, &parentBlock.Header, block, p.cfg, p.params)
+	out := Outcome{Block: block, Result: res, Err: err, Elapsed: time.Since(pb.arrived)}
+	if err == nil {
+		if insErr := p.chain.InsertWithReceipts(block, res.State, res.Receipts); insErr != nil {
+			out.Err = insErr
+		}
+	}
+	p.results <- out
+
+	p.mu.Lock()
+	if out.Err == nil {
+		// Commitment done: release children waiting on this block.
+		children := p.waiting[block.Hash()]
+		delete(p.waiting, block.Hash())
+		p.running += len(children)
+		for _, c := range children {
+			go p.run(c)
+		}
+	} else {
+		// A rejected block strands its descendants: fail the subtree.
+		_ = p.failSubtreeLocked(block.Hash(), out.Err)
+	}
+	p.running--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// failSubtreeLocked rejects every block waiting (transitively) on a failed
+// parent, returning how many were failed. Caller holds p.mu.
+func (p *Pipeline) failSubtreeLocked(parent types.Hash, cause error) int {
+	children := p.waiting[parent]
+	delete(p.waiting, parent)
+	n := len(children)
+	for _, c := range children {
+		p.results <- Outcome{Block: c.block, Err: cause, Elapsed: time.Since(c.arrived)}
+		n += p.failSubtreeLocked(c.block.Hash(), cause)
+	}
+	return n
+}
+
+// Wait blocks until no validation is running. Blocks parked behind a parent
+// that has not arrived are not flushed — Abandon or Close handles those.
+func (p *Pipeline) Wait() {
+	p.mu.Lock()
+	for p.running > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Abandon fails all blocks still parked behind unavailable parents and
+// returns how many were abandoned.
+func (p *Pipeline) Abandon(cause error) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for len(p.waiting) > 0 {
+		for h := range p.waiting {
+			n += p.failSubtreeLocked(h, cause)
+			break
+		}
+	}
+	return n
+}
+
+// Close waits for in-flight work, abandons unresolvable blocks, shuts the
+// owned worker pool down and closes the results channel.
+func (p *Pipeline) Close() {
+	p.Wait()
+	p.Abandon(ErrParentUnavailable)
+	p.Wait()
+	if p.ownPool {
+		p.pool.Close()
+	}
+	close(p.results)
+}

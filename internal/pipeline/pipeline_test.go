@@ -1,0 +1,198 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"blockpilot/internal/chain"
+	"blockpilot/internal/core"
+	"blockpilot/internal/mempool"
+	"blockpilot/internal/types"
+	"blockpilot/internal/validator"
+	"blockpilot/internal/workload"
+)
+
+var coinbase = types.HexToAddress("0xc01bbace")
+
+// buildChain proposes `n` sequential blocks (and optionally `forks` extra
+// sibling blocks per height with a different coinbase).
+func buildChain(t *testing.T, n, forks int) (*chain.Chain, [][]*types.Block) {
+	t.Helper()
+	cfg := workload.Default()
+	cfg.NumAccounts = 400
+	cfg.TxPerBlock = 60
+	g := workload.New(cfg)
+	genesis := g.GenesisState()
+	params := chain.DefaultParams()
+	c := chain.NewChain(genesis, params)
+
+	parentState := genesis
+	parentHeader := &c.Genesis().Header
+	var heights [][]*types.Block
+	for i := 0; i < n; i++ {
+		txs := g.NextBlockTxs()
+		var level []*types.Block
+		roundState, roundHeader := parentState, parentHeader
+		for f := 0; f <= forks; f++ {
+			pool := mempool.New()
+			pool.AddAll(txs)
+			cb := coinbase
+			cb[19] = byte(f) // forked siblings differ by coinbase
+			res, err := core.Propose(roundState, roundHeader, pool, core.ProposerConfig{
+				Threads: 4, Coinbase: cb, Time: uint64(i + 1),
+			}, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Committed != len(txs) {
+				t.Fatalf("height %d fork %d: packed %d of %d", i+1, f, res.Committed, len(txs))
+			}
+			level = append(level, res.Block)
+			if f == 0 {
+				// The canonical branch continues from sibling 0.
+				parentState = res.State
+				parentHeader = &res.Block.Header
+			}
+		}
+		heights = append(heights, level)
+	}
+	return c, heights
+}
+
+func TestPipelineSequentialBlocks(t *testing.T) {
+	c, heights := buildChain(t, 4, 0)
+	p := New(c, validator.DefaultConfig(8), nil)
+	for _, level := range heights {
+		p.Submit(level[0])
+	}
+	p.Close()
+	count := 0
+	for out := range p.Results() {
+		if out.Err != nil {
+			t.Fatalf("block %d: %v", out.Block.Number(), out.Err)
+		}
+		count++
+	}
+	if count != 4 {
+		t.Fatalf("%d outcomes", count)
+	}
+	if c.Height() != 4 {
+		t.Fatalf("head height = %d", c.Height())
+	}
+}
+
+func TestPipelineOutOfOrderSubmission(t *testing.T) {
+	c, heights := buildChain(t, 4, 0)
+	p := New(c, validator.DefaultConfig(8), nil)
+	// Submit children before parents: the pipeline must hold them.
+	for i := len(heights) - 1; i >= 0; i-- {
+		p.Submit(heights[i][0])
+	}
+	p.Close()
+	for out := range p.Results() {
+		if out.Err != nil {
+			t.Fatalf("block %d: %v", out.Block.Number(), out.Err)
+		}
+	}
+	if c.Height() != 4 {
+		t.Fatalf("head height = %d", c.Height())
+	}
+}
+
+func TestPipelineForkSiblingsConcurrent(t *testing.T) {
+	c, heights := buildChain(t, 2, 2) // 3 siblings per height
+	p := New(c, validator.DefaultConfig(8), nil)
+	for _, level := range heights {
+		for _, b := range level {
+			p.Submit(b)
+		}
+	}
+	p.Close()
+	validated := 0
+	for out := range p.Results() {
+		if out.Err != nil {
+			t.Fatalf("block %s: %v", out.Block.Hash(), out.Err)
+		}
+		validated++
+	}
+	if validated != 6 {
+		t.Fatalf("validated %d of 6", validated)
+	}
+	if got := len(c.BlocksAt(1)); got != 3 {
+		t.Fatalf("%d blocks stored at height 1", got)
+	}
+	// Only the canonical branch continues to height 2 (children of sibling 0).
+	if got := len(c.BlocksAt(2)); got != 3 {
+		t.Fatalf("%d blocks stored at height 2", got)
+	}
+}
+
+func TestPipelineRejectsBadBlockAndDescendants(t *testing.T) {
+	c, heights := buildChain(t, 3, 0)
+	p := New(c, validator.DefaultConfig(4), nil)
+	bad := *heights[0][0]
+	bad.Header.StateRoot[0] ^= 1
+	p.Submit(&bad)
+	// heights[1] and [2] descend from the ORIGINAL first block, whose hash
+	// differs from bad's; they wait forever and must be abandoned.
+	p.Submit(heights[1][0])
+	p.Submit(heights[2][0])
+	p.Wait()
+	abandoned := p.Abandon(errors.New("parent never validated"))
+	p.Close()
+	if abandoned != 2 {
+		t.Fatalf("abandoned %d, want 2", abandoned)
+	}
+	failures := 0
+	for out := range p.Results() {
+		if out.Err != nil {
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("%d failures, want 3", failures)
+	}
+	if c.Height() != 0 {
+		t.Fatalf("head height = %d after rejected chain", c.Height())
+	}
+}
+
+func TestPipelineDescendantOfRejectedBlockFails(t *testing.T) {
+	c, heights := buildChain(t, 2, 0)
+	p := New(c, validator.DefaultConfig(4), nil)
+	bad := *heights[0][0]
+	bad.Header.GasUsed++ // invalid, and changes bad's hash
+	// Build a child that names the bad block as parent.
+	child := *heights[1][0]
+	child.Header.ParentHash = bad.Hash()
+	p.Submit(&child) // waits on bad
+	p.Submit(&bad)   // fails → child must fail too
+	p.Wait()
+	p.Close()
+	results := map[uint64]error{}
+	for out := range p.Results() {
+		results[out.Block.Number()] = out.Err
+	}
+	if results[1] == nil {
+		t.Fatal("bad block accepted")
+	}
+	if results[2] == nil {
+		t.Fatal("descendant of bad block accepted")
+	}
+}
+
+func TestSharedWorkerPool(t *testing.T) {
+	c, heights := buildChain(t, 1, 3) // 4 siblings at height 1
+	pool := NewWorkerPool(8)
+	defer pool.Close()
+	p := New(c, validator.DefaultConfig(4), pool)
+	for _, b := range heights[0] {
+		p.Submit(b)
+	}
+	p.Close() // does not close the externally-owned pool
+	for out := range p.Results() {
+		if out.Err != nil {
+			t.Fatalf("block %s: %v", out.Block.Hash(), out.Err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package rlp
+
+import (
+	"testing"
+)
+
+// FuzzSplit: the decoder must never panic on arbitrary bytes, and anything
+// it accepts must re-encode consistently.
+func FuzzSplit(f *testing.F) {
+	f.Add([]byte{0x80})
+	f.Add([]byte{0xc0})
+	f.Add([]byte("dog"))
+	f.Add(EncodeList(EncodeString([]byte("cat")), EncodeUint(7)))
+	f.Add([]byte{0xb8, 0x38, 0x01})
+	f.Add([]byte{0xf8, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		kind, content, rest, err := Split(b)
+		if err != nil {
+			return
+		}
+		consumed := len(b) - len(rest)
+		if consumed <= 0 || consumed > len(b) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(b))
+		}
+		switch kind {
+		case KindString:
+			// Re-encoding the content must reproduce the consumed bytes for
+			// canonical inputs (single bytes and short/long strings).
+			re := EncodeString(content)
+			if len(re) != consumed {
+				// Non-canonical length form — Split must have rejected it.
+				t.Fatalf("accepted non-canonical string: % x", b[:consumed])
+			}
+		case KindList:
+			// Every element of an accepted list must itself split cleanly.
+			if _, err := ListElems(content); err == nil {
+				total := 0
+				elems, _ := ListElems(content)
+				for _, e := range elems {
+					total += len(e)
+				}
+				if total != len(content) {
+					t.Fatalf("list elements cover %d of %d bytes", total, len(content))
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeUint: no panics, and accepted values round-trip.
+func FuzzDecodeUint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, err := DecodeUint(b)
+		if err != nil {
+			return
+		}
+		enc := EncodeUint(v)
+		got, rest, err := SplitUint(enc)
+		if err != nil || len(rest) != 0 || got != v {
+			t.Fatalf("round trip of %d failed", v)
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package state
+
+import (
+	"blockpilot/internal/crypto"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// Memory is a mutable, map-backed world state view layered over an optional
+// base Reader. It is the fast accumulation state used by validator workers
+// (state of a component after its earlier transactions) and by tests. It is
+// not safe for concurrent mutation.
+type Memory struct {
+	base     Reader
+	accounts map[types.Address]*memAccount
+}
+
+type memAccount struct {
+	nonce    uint64
+	balance  uint256.Int
+	code     []byte
+	codeHash types.Hash
+	hasCode  bool // code field authoritative (otherwise fall through to base)
+	storage  map[types.Hash]uint256.Int
+	exists   bool
+}
+
+// NewMemory returns a Memory view over base (base may be nil for an empty
+// standalone state).
+func NewMemory(base Reader) *Memory {
+	return &Memory{base: base, accounts: make(map[types.Address]*memAccount)}
+}
+
+// Nonce implements Reader.
+func (m *Memory) Nonce(addr types.Address) uint64 {
+	if a, ok := m.accounts[addr]; ok {
+		return a.nonce
+	}
+	if m.base != nil {
+		return m.base.Nonce(addr)
+	}
+	return 0
+}
+
+// Balance implements Reader.
+func (m *Memory) Balance(addr types.Address) uint256.Int {
+	if a, ok := m.accounts[addr]; ok {
+		return a.balance
+	}
+	if m.base != nil {
+		return m.base.Balance(addr)
+	}
+	return uint256.Int{}
+}
+
+// Code implements Reader.
+func (m *Memory) Code(addr types.Address) []byte {
+	if a, ok := m.accounts[addr]; ok && a.hasCode {
+		return a.code
+	}
+	if m.base != nil {
+		return m.base.Code(addr)
+	}
+	return nil
+}
+
+// CodeHash implements Reader.
+func (m *Memory) CodeHash(addr types.Address) types.Hash {
+	if a, ok := m.accounts[addr]; ok && a.hasCode {
+		return a.codeHash
+	}
+	if m.base != nil {
+		return m.base.CodeHash(addr)
+	}
+	return types.Hash{}
+}
+
+// Storage implements Reader. A slot written locally shadows the base; other
+// slots of the same account still fall through.
+func (m *Memory) Storage(addr types.Address, slot types.Hash) uint256.Int {
+	if a, ok := m.accounts[addr]; ok {
+		if v, ok := a.storage[slot]; ok {
+			return v
+		}
+	}
+	if m.base != nil {
+		return m.base.Storage(addr, slot)
+	}
+	return uint256.Int{}
+}
+
+// Exists implements Reader.
+func (m *Memory) Exists(addr types.Address) bool {
+	if a, ok := m.accounts[addr]; ok {
+		return a.exists
+	}
+	if m.base != nil {
+		return m.base.Exists(addr)
+	}
+	return false
+}
+
+// ensure materializes an account entry, pulling current values from base.
+func (m *Memory) ensure(addr types.Address) *memAccount {
+	if a, ok := m.accounts[addr]; ok {
+		return a
+	}
+	a := &memAccount{storage: make(map[types.Hash]uint256.Int)}
+	if m.base != nil && m.base.Exists(addr) {
+		a.nonce = m.base.Nonce(addr)
+		a.balance = m.base.Balance(addr)
+		a.exists = true
+	}
+	m.accounts[addr] = a
+	return a
+}
+
+// SetBalance sets an account balance (creating the account).
+func (m *Memory) SetBalance(addr types.Address, v *uint256.Int) {
+	a := m.ensure(addr)
+	a.balance = *v
+	a.exists = true
+}
+
+// AddBalance adds to an account balance (creating the account).
+func (m *Memory) AddBalance(addr types.Address, v *uint256.Int) {
+	a := m.ensure(addr)
+	a.balance.Add(&a.balance, v)
+	a.exists = true
+}
+
+// SetNonce sets an account nonce (creating the account).
+func (m *Memory) SetNonce(addr types.Address, n uint64) {
+	a := m.ensure(addr)
+	a.nonce = n
+	a.exists = true
+}
+
+// SetCode installs contract code (creating the account).
+func (m *Memory) SetCode(addr types.Address, code []byte) {
+	a := m.ensure(addr)
+	a.code = append([]byte(nil), code...)
+	a.codeHash = types.Hash(crypto.Sum256(code))
+	a.hasCode = true
+	a.exists = true
+}
+
+// SetStorage sets one storage slot (creating the account).
+func (m *Memory) SetStorage(addr types.Address, slot types.Hash, v uint256.Int) {
+	a := m.ensure(addr)
+	a.storage[slot] = v
+	a.exists = true
+}
+
+// ApplyChangeSet applies a materialized write set to the memory state.
+func (m *Memory) ApplyChangeSet(cs *ChangeSet) {
+	for addr, ch := range cs.Accounts {
+		a := m.ensure(addr)
+		a.nonce = ch.Nonce
+		a.balance = ch.Balance
+		a.exists = true
+		if ch.CodeSet {
+			a.code = ch.Code
+			a.codeHash = types.Hash(crypto.Sum256(ch.Code))
+			a.hasCode = true
+		}
+		for slot, v := range ch.Storage {
+			a.storage[slot] = v
+		}
+	}
+}

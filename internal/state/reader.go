@@ -1,0 +1,87 @@
+// Package state implements the Ethereum-style world state: a trie-backed
+// persistent Snapshot (committed state with a provable root), a mutable
+// Memory state for accumulation, and Overlay — the speculative,
+// access-recording write buffer every parallel executor in BlockPilot runs
+// on top of.
+package state
+
+import (
+	"blockpilot/internal/crypto"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// Reader is the read-only view of a world state. Snapshot, Memory and
+// Overlay all implement it, so overlays can stack on any of them.
+type Reader interface {
+	// Nonce returns the account's transaction count.
+	Nonce(addr types.Address) uint64
+	// Balance returns the account's balance.
+	Balance(addr types.Address) uint256.Int
+	// Code returns the account's contract code (nil for EOAs and absents).
+	Code(addr types.Address) []byte
+	// CodeHash returns the keccak of the account's code; EmptyCodeHash for
+	// existing accounts without code, the zero hash for absent accounts.
+	CodeHash(addr types.Address) types.Hash
+	// Storage returns the value of one contract storage slot.
+	Storage(addr types.Address, slot types.Hash) uint256.Int
+	// Exists reports whether the account is present in the state.
+	Exists(addr types.Address) bool
+}
+
+// EmptyCodeHash is keccak256 of empty code.
+var EmptyCodeHash = types.Hash(crypto.Sum256(nil))
+
+// Account is the materialized view of one account.
+type Account struct {
+	Nonce    uint64
+	Balance  uint256.Int
+	CodeHash types.Hash
+}
+
+// AccountChange is the per-account part of a ChangeSet: the full post-values
+// of the account fields plus the dirty storage slots.
+type AccountChange struct {
+	Nonce   uint64
+	Balance uint256.Int
+	Code    []byte // nil = unchanged
+	CodeSet bool
+	Storage map[types.Hash]uint256.Int
+}
+
+// ChangeSet is the write set of one or more executions in materialized form:
+// applying it to the base state the execution ran against yields the
+// post-state.
+type ChangeSet struct {
+	Accounts map[types.Address]*AccountChange
+}
+
+// NewChangeSet returns an empty change set.
+func NewChangeSet() *ChangeSet {
+	return &ChangeSet{Accounts: make(map[types.Address]*AccountChange)}
+}
+
+// Merge applies other on top of cs (other wins on overlapping fields).
+func (cs *ChangeSet) Merge(other *ChangeSet) {
+	for addr, oc := range other.Accounts {
+		c, ok := cs.Accounts[addr]
+		if !ok {
+			c = &AccountChange{Storage: make(map[types.Hash]uint256.Int)}
+			cs.Accounts[addr] = c
+		}
+		c.Nonce = oc.Nonce
+		c.Balance = oc.Balance
+		if oc.CodeSet {
+			c.Code, c.CodeSet = oc.Code, true
+		}
+		if c.Storage == nil {
+			c.Storage = make(map[types.Hash]uint256.Int)
+		}
+		for k, v := range oc.Storage {
+			c.Storage[k] = v
+		}
+	}
+}
+
+// Empty reports whether the change set contains no changes.
+func (cs *ChangeSet) Empty() bool { return len(cs.Accounts) == 0 }

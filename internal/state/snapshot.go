@@ -1,0 +1,310 @@
+package state
+
+import (
+	"blockpilot/internal/crypto"
+	"blockpilot/internal/rlp"
+	"blockpilot/internal/trie"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// Snapshot is a committed world state at a block boundary. It is immutable:
+// Commit returns a new Snapshot sharing all unchanged trie nodes with the
+// old one, so holding many historical snapshots (as the validator pipeline
+// does for in-flight blocks) is cheap.
+//
+// Layout follows Ethereum: an accounts trie keyed by keccak(address) whose
+// leaves are rlp([nonce, balance, storageRoot, codeHash]), one storage trie
+// per contract keyed by keccak(slot) with rlp(value) leaves, and a
+// codeHash → code store.
+type Snapshot struct {
+	accounts *trie.Trie
+	storage  map[types.Address]*trie.Trie
+	codes    map[types.Hash][]byte
+}
+
+// NewSnapshot returns an empty world state.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		accounts: trie.New(),
+		storage:  make(map[types.Address]*trie.Trie),
+		codes:    make(map[types.Hash][]byte),
+	}
+}
+
+// encodeAccount serializes an account leaf.
+func encodeAccount(nonce uint64, balance *uint256.Int, storageRoot, codeHash types.Hash) []byte {
+	return rlp.EncodeList(
+		rlp.EncodeUint(nonce),
+		rlp.EncodeString(balance.Bytes()),
+		rlp.EncodeString(storageRoot.Bytes()),
+		rlp.EncodeString(codeHash.Bytes()),
+	)
+}
+
+// decodedAccount is the parsed form of an account leaf.
+type decodedAccount struct {
+	nonce       uint64
+	balance     uint256.Int
+	storageRoot types.Hash
+	codeHash    types.Hash
+}
+
+func decodeAccount(b []byte) (decodedAccount, bool) {
+	var a decodedAccount
+	content, _, err := rlp.SplitList(b)
+	if err != nil {
+		return a, false
+	}
+	if a.nonce, content, err = rlp.SplitUint(content); err != nil {
+		return a, false
+	}
+	var s []byte
+	if s, content, err = rlp.SplitString(content); err != nil {
+		return a, false
+	}
+	a.balance.SetBytes(s)
+	if s, content, err = rlp.SplitString(content); err != nil {
+		return a, false
+	}
+	a.storageRoot = types.BytesToHash(s)
+	if s, _, err = rlp.SplitString(content); err != nil {
+		return a, false
+	}
+	a.codeHash = types.BytesToHash(s)
+	return a, true
+}
+
+// lookup fetches and decodes an account leaf; ok is false for absents.
+func (s *Snapshot) lookup(addr types.Address) (decodedAccount, bool) {
+	leaf := s.accounts.Get(crypto.Keccak256(addr.Bytes()))
+	if leaf == nil {
+		return decodedAccount{}, false
+	}
+	return decodeAccount(leaf)
+}
+
+// Nonce implements Reader.
+func (s *Snapshot) Nonce(addr types.Address) uint64 {
+	a, _ := s.lookup(addr)
+	return a.nonce
+}
+
+// Balance implements Reader.
+func (s *Snapshot) Balance(addr types.Address) uint256.Int {
+	a, _ := s.lookup(addr)
+	return a.balance
+}
+
+// Code implements Reader.
+func (s *Snapshot) Code(addr types.Address) []byte {
+	a, ok := s.lookup(addr)
+	if !ok || a.codeHash == EmptyCodeHash || a.codeHash == (types.Hash{}) {
+		return nil
+	}
+	return s.codes[a.codeHash]
+}
+
+// CodeHash implements Reader.
+func (s *Snapshot) CodeHash(addr types.Address) types.Hash {
+	a, ok := s.lookup(addr)
+	if !ok {
+		return types.Hash{}
+	}
+	if a.codeHash == (types.Hash{}) {
+		return EmptyCodeHash
+	}
+	return a.codeHash
+}
+
+// Storage implements Reader.
+func (s *Snapshot) Storage(addr types.Address, slot types.Hash) uint256.Int {
+	var v uint256.Int
+	st, ok := s.storage[addr]
+	if !ok {
+		return v
+	}
+	leaf := st.Get(crypto.Keccak256(slot.Bytes()))
+	if leaf == nil {
+		return v
+	}
+	content, _, err := rlp.SplitString(leaf)
+	if err != nil {
+		return v
+	}
+	v.SetBytes(content)
+	return v
+}
+
+// Exists implements Reader.
+func (s *Snapshot) Exists(addr types.Address) bool {
+	_, ok := s.lookup(addr)
+	return ok
+}
+
+// Root returns the world-state root hash committed in block headers.
+func (s *Snapshot) Root() types.Hash {
+	return types.Hash(s.accounts.Hash())
+}
+
+// Copy returns an independent snapshot sharing all structure (O(#contracts)).
+func (s *Snapshot) Copy() *Snapshot {
+	ns := &Snapshot{
+		accounts: s.accounts.Copy(),
+		storage:  make(map[types.Address]*trie.Trie, len(s.storage)),
+		codes:    make(map[types.Hash][]byte, len(s.codes)),
+	}
+	for a, t := range s.storage {
+		ns.storage[a] = t // tries are persistent; Commit replaces, never mutates
+	}
+	for h, c := range s.codes {
+		ns.codes[h] = c
+	}
+	return ns
+}
+
+// Commit applies a change set and returns the resulting snapshot. The
+// receiver is unchanged.
+func (s *Snapshot) Commit(cs *ChangeSet) *Snapshot {
+	ns := &Snapshot{
+		accounts: s.accounts.Copy(),
+		storage:  s.storage,
+		codes:    s.codes,
+	}
+	storageCopied, codesCopied := false, false
+
+	for addr, ch := range cs.Accounts {
+		old, existed := s.lookup(addr)
+		acct := old
+		acct.nonce = ch.Nonce
+		acct.balance = ch.Balance
+		if !existed {
+			acct.codeHash = EmptyCodeHash
+			acct.storageRoot = types.Hash(trie.EmptyRoot)
+		}
+		if ch.CodeSet {
+			h := types.Hash(crypto.Sum256(ch.Code))
+			acct.codeHash = h
+			if !codesCopied {
+				codes := make(map[types.Hash][]byte, len(ns.codes)+1)
+				for k, v := range ns.codes {
+					codes[k] = v
+				}
+				ns.codes = codes
+				codesCopied = true
+			}
+			ns.codes[h] = ch.Code
+		}
+		if len(ch.Storage) > 0 {
+			if !storageCopied {
+				storage := make(map[types.Address]*trie.Trie, len(ns.storage)+1)
+				for k, v := range ns.storage {
+					storage[k] = v
+				}
+				ns.storage = storage
+				storageCopied = true
+			}
+			st := ns.storage[addr]
+			if st == nil {
+				st = trie.New()
+			} else {
+				st = st.Copy()
+			}
+			for slot, val := range ch.Storage {
+				key := crypto.Keccak256(slot.Bytes())
+				if val.IsZero() {
+					st.Delete(key)
+				} else {
+					st.Update(key, rlp.EncodeString(val.Bytes()))
+				}
+			}
+			ns.storage[addr] = st
+			acct.storageRoot = types.Hash(st.Hash())
+		}
+		ns.accounts.Update(crypto.Keccak256(addr.Bytes()),
+			encodeAccount(acct.nonce, &acct.balance, acct.storageRoot, acct.codeHash))
+	}
+	return ns
+}
+
+// ForEachAccount visits every account in the snapshot in hashed-key order.
+// The address is NOT recoverable from the trie (keys are keccak(addr)), so
+// the callback receives the account's decoded fields keyed by hashed
+// address — useful for audits, dumps and invariant checks.
+func (s *Snapshot) ForEachAccount(fn func(hashedAddr types.Hash, acct Account) bool) {
+	s.accounts.ForEach(func(key, leaf []byte) bool {
+		dec, ok := decodeAccount(leaf)
+		if !ok {
+			return true
+		}
+		return fn(types.BytesToHash(key), Account{
+			Nonce:    dec.nonce,
+			Balance:  dec.balance,
+			CodeHash: dec.codeHash,
+		})
+	})
+}
+
+// AccountCount returns the number of accounts (O(n); diagnostics).
+func (s *Snapshot) AccountCount() int {
+	n := 0
+	s.ForEachAccount(func(types.Hash, Account) bool { n++; return true })
+	return n
+}
+
+// TotalBalance sums every account balance (supply audits in tests).
+func (s *Snapshot) TotalBalance() uint256.Int {
+	var total uint256.Int
+	s.ForEachAccount(func(_ types.Hash, a Account) bool {
+		total.Add(&total, &a.Balance)
+		return true
+	})
+	return total
+}
+
+// genesisAccount seeds an account directly (used only while building genesis).
+type genesisAccount struct {
+	Balance uint256.Int
+	Nonce   uint64
+	Code    []byte
+	Storage map[types.Hash]uint256.Int
+}
+
+// GenesisBuilder accumulates accounts and produces the genesis Snapshot.
+type GenesisBuilder struct {
+	accounts map[types.Address]*genesisAccount
+}
+
+// NewGenesisBuilder returns an empty genesis builder.
+func NewGenesisBuilder() *GenesisBuilder {
+	return &GenesisBuilder{accounts: make(map[types.Address]*genesisAccount)}
+}
+
+// AddAccount seeds an externally-owned account with a balance.
+func (g *GenesisBuilder) AddAccount(addr types.Address, balance *uint256.Int) *GenesisBuilder {
+	g.accounts[addr] = &genesisAccount{Balance: *balance}
+	return g
+}
+
+// AddContract seeds a contract account with code, balance and storage.
+func (g *GenesisBuilder) AddContract(addr types.Address, balance *uint256.Int, code []byte, storage map[types.Hash]uint256.Int) *GenesisBuilder {
+	g.accounts[addr] = &genesisAccount{Balance: *balance, Code: code, Storage: storage}
+	return g
+}
+
+// Build produces the genesis snapshot.
+func (g *GenesisBuilder) Build() *Snapshot {
+	cs := NewChangeSet()
+	for addr, acct := range g.accounts {
+		ch := &AccountChange{
+			Nonce:   acct.Nonce,
+			Balance: acct.Balance,
+			Storage: acct.Storage,
+		}
+		if len(acct.Code) > 0 {
+			ch.Code, ch.CodeSet = acct.Code, true
+		}
+		cs.Accounts[addr] = ch
+	}
+	return NewSnapshot().Commit(cs)
+}

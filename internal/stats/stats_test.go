@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %f", s.Stddev)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatal("empty summary nonzero")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if p := Percentile(sorted, 0); p != 10 {
+		t.Fatalf("p0 = %f", p)
+	}
+	if p := Percentile(sorted, 100); p != 40 {
+		t.Fatalf("p100 = %f", p)
+	}
+	if p := Percentile(sorted, 50); p != 25 {
+		t.Fatalf("p50 = %f", p)
+	}
+	if p := Percentile([]float64{7}, 99); p != 7 {
+		t.Fatalf("single = %f", p)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	for _, v := range []float64{0.5, 1.0, 1.9, 2.0, 99, -1} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	// buckets: [0,1): 0.5 and -1(clamped) → 2; [1,2): 1.0, 1.9 → 2; [2,∞): 2.
+	if h.counts[0] != 2 || h.counts[1] != 2 || h.counts[2] != 2 {
+		t.Fatalf("counts = %v", h.counts)
+	}
+	if f := h.Fraction(0); math.Abs(f-2.0/6) > 1e-9 {
+		t.Fatalf("fraction = %f", f)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(SpeedupEdges()...)
+	h.Add(3.2)
+	h.Add(1.1)
+	out := h.Render("speedups", func(e float64) string { return "x" })
+	if !strings.Contains(out, "n=2") {
+		t.Fatalf("render: %s", out)
+	}
+}

@@ -1,0 +1,141 @@
+package trie
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func buildTestTrie(n int, seed int64) (*Trie, map[string][]byte) {
+	r := rand.New(rand.NewSource(seed))
+	tr := New()
+	kvs := make(map[string][]byte)
+	for i := 0; i < n; i++ {
+		k := make([]byte, 1+r.Intn(12))
+		r.Read(k)
+		v := make([]byte, 1+r.Intn(40))
+		r.Read(v)
+		tr.Update(k, v)
+		kvs[string(k)] = v
+	}
+	return tr, kvs
+}
+
+func TestProveAndVerifyPresent(t *testing.T) {
+	tr, kvs := buildTestTrie(300, 1)
+	root := tr.Hash()
+	for k, v := range kvs {
+		proof := tr.Prove([]byte(k))
+		got, err := VerifyProof(root, []byte(k), proof)
+		if err != nil {
+			t.Fatalf("verify %x: %v", k, err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("key %x: got %x, want %x", k, got, v)
+		}
+	}
+}
+
+func TestProveAbsence(t *testing.T) {
+	tr, kvs := buildTestTrie(100, 2)
+	root := tr.Hash()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		k := make([]byte, 1+r.Intn(12))
+		r.Read(k)
+		if _, present := kvs[string(k)]; present {
+			continue
+		}
+		proof := tr.Prove(k)
+		got, err := VerifyProof(root, k, proof)
+		if err != nil {
+			t.Fatalf("absence verify %x: %v", k, err)
+		}
+		if got != nil {
+			t.Fatalf("absent key %x proved value %x", k, got)
+		}
+	}
+}
+
+func TestProofRejectsTampering(t *testing.T) {
+	tr, kvs := buildTestTrie(100, 4)
+	root := tr.Hash()
+	var key []byte
+	for k := range kvs {
+		key = []byte(k)
+		break
+	}
+	proof := tr.Prove(key)
+	if len(proof) == 0 {
+		t.Fatal("empty proof")
+	}
+	// Flip a byte in the first node: hash check must fail.
+	bad := make([][]byte, len(proof))
+	copy(bad, proof)
+	tampered := append([]byte(nil), bad[0]...)
+	tampered[len(tampered)-1] ^= 1
+	bad[0] = tampered
+	if _, err := VerifyProof(root, key, bad); err == nil {
+		t.Fatal("tampered proof accepted")
+	}
+	// Truncated proof must fail (not claim absence) when the path continues.
+	if len(proof) > 1 {
+		if _, err := VerifyProof(root, key, proof[:1]); err == nil {
+			t.Fatal("truncated proof accepted")
+		}
+	}
+	// Wrong root must fail.
+	var otherRoot [32]byte
+	copy(otherRoot[:], root[:])
+	otherRoot[0] ^= 0xff
+	if _, err := VerifyProof(otherRoot, key, proof); err == nil {
+		t.Fatal("proof accepted against wrong root")
+	}
+}
+
+func TestProofAgainstWrongKeyFails(t *testing.T) {
+	tr := New()
+	tr.Update([]byte("abc"), []byte("v1"))
+	tr.Update([]byte("abd"), []byte("v2"))
+	root := tr.Hash()
+	proof := tr.Prove([]byte("abc"))
+	// The proof for "abc" should not prove a value for "abd" — it either
+	// errors (missing node) or proves the honest value.
+	got, err := VerifyProof(root, []byte("abd"), proof)
+	if err == nil && got != nil && !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("proof for abc yielded %x for abd", got)
+	}
+}
+
+func TestProofSingleEntryAndEmpty(t *testing.T) {
+	tr := New()
+	tr.Update([]byte("k"), []byte("v"))
+	root := tr.Hash()
+	got, err := VerifyProof(root, []byte("k"), tr.Prove([]byte("k")))
+	if err != nil || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("single-entry proof: %x %v", got, err)
+	}
+	// 32-byte keys (the hashed-key form used by the state layer).
+	tr2 := New()
+	k := bytes.Repeat([]byte{0x42}, 32)
+	tr2.Update(k, []byte("state"))
+	got, err = VerifyProof(tr2.Hash(), k, tr2.Prove(k))
+	if err != nil || !bytes.Equal(got, []byte("state")) {
+		t.Fatalf("32-byte key proof: %x %v", got, err)
+	}
+}
+
+func TestProofRandomizedAgainstModel(t *testing.T) {
+	// Random tries of varying size; every key verifies, every miss proves
+	// absence.
+	for seed := int64(10); seed < 16; seed++ {
+		tr, kvs := buildTestTrie(60, seed)
+		root := tr.Hash()
+		for k, v := range kvs {
+			got, err := VerifyProof(root, []byte(k), tr.Prove([]byte(k)))
+			if err != nil || !bytes.Equal(got, v) {
+				t.Fatalf("seed %d key %x: %x %v", seed, k, got, err)
+			}
+		}
+	}
+}

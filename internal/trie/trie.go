@@ -1,0 +1,423 @@
+// Package trie implements the hexary Merkle Patricia Trie that stores the
+// Ethereum world state and computes the state root committed in block
+// headers.
+//
+// Nodes are immutable: Update and Delete return paths of fresh nodes and
+// share all untouched subtrees with the previous version. A Trie copy is
+// therefore O(1), which is what lets the validator pipeline hold several
+// world-state versions (one per in-flight block) cheaply. Node hashes are
+// cached with atomic pointers, so concurrent hashing of shared subtrees is
+// safe.
+package trie
+
+import (
+	"bytes"
+	"sync/atomic"
+
+	"blockpilot/internal/crypto"
+	"blockpilot/internal/rlp"
+)
+
+// node is one trie node: *leafNode, *extNode or *branchNode.
+type node interface {
+	// cachedEnc returns the node's reference encoding cache slot.
+	cache() *atomic.Pointer[[]byte]
+}
+
+// leafNode holds a value at the end of a key path (key is in nibbles).
+type leafNode struct {
+	key []byte
+	val []byte
+	enc atomic.Pointer[[]byte]
+}
+
+// extNode compresses a shared nibble path leading to a branch.
+type extNode struct {
+	key   []byte
+	child node
+	enc   atomic.Pointer[[]byte]
+}
+
+// branchNode fans out on one nibble; value holds a key that ends here.
+type branchNode struct {
+	children [16]node
+	value    []byte
+	hasValue bool
+	enc      atomic.Pointer[[]byte]
+}
+
+func (n *leafNode) cache() *atomic.Pointer[[]byte]   { return &n.enc }
+func (n *extNode) cache() *atomic.Pointer[[]byte]    { return &n.enc }
+func (n *branchNode) cache() *atomic.Pointer[[]byte] { return &n.enc }
+
+// Trie is a persistent Merkle Patricia Trie. The zero value is an empty trie.
+type Trie struct {
+	root node
+}
+
+// New returns an empty trie.
+func New() *Trie { return &Trie{} }
+
+// Copy returns a snapshot of the trie. Both copies may diverge independently.
+func (t *Trie) Copy() *Trie { return &Trie{root: t.root} }
+
+// EmptyRoot is the hash of an empty trie: keccak256(rlp("")).
+var EmptyRoot = crypto.Sum256([]byte{0x80})
+
+// keybytesToNibbles expands key bytes into high-first nibbles.
+func keybytesToNibbles(key []byte) []byte {
+	n := make([]byte, len(key)*2)
+	for i, b := range key {
+		n[i*2] = b >> 4
+		n[i*2+1] = b & 0x0f
+	}
+	return n
+}
+
+// commonPrefixLen returns the length of the shared prefix of a and b.
+func commonPrefixLen(a, b []byte) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// Get returns the value stored under key, or nil if absent.
+func (t *Trie) Get(key []byte) []byte {
+	return get(t.root, keybytesToNibbles(key))
+}
+
+func get(n node, key []byte) []byte {
+	for {
+		switch nd := n.(type) {
+		case nil:
+			return nil
+		case *leafNode:
+			if bytes.Equal(nd.key, key) {
+				return nd.val
+			}
+			return nil
+		case *extNode:
+			if len(key) < len(nd.key) || !bytes.Equal(nd.key, key[:len(nd.key)]) {
+				return nil
+			}
+			n, key = nd.child, key[len(nd.key):]
+		case *branchNode:
+			if len(key) == 0 {
+				if nd.hasValue {
+					return nd.value
+				}
+				return nil
+			}
+			n, key = nd.children[key[0]], key[1:]
+		default:
+			return nil
+		}
+	}
+}
+
+// Update stores value under key. An empty or nil value deletes the key
+// (Ethereum state semantics).
+func (t *Trie) Update(key, value []byte) {
+	if len(value) == 0 {
+		t.Delete(key)
+		return
+	}
+	t.root = insert(t.root, keybytesToNibbles(key), value)
+}
+
+// Delete removes key from the trie if present.
+func (t *Trie) Delete(key []byte) {
+	t.root, _ = remove(t.root, keybytesToNibbles(key))
+}
+
+// putIntoBranch stores (key, value) directly under a fresh branch.
+func putIntoBranch(b *branchNode, key, value []byte) {
+	if len(key) == 0 {
+		b.value, b.hasValue = value, true
+		return
+	}
+	b.children[key[0]] = &leafNode{key: append([]byte(nil), key[1:]...), val: value}
+}
+
+// insert returns a new subtree equal to n with (key, value) stored.
+func insert(n node, key, value []byte) node {
+	switch nd := n.(type) {
+	case nil:
+		return &leafNode{key: append([]byte(nil), key...), val: value}
+
+	case *leafNode:
+		cp := commonPrefixLen(key, nd.key)
+		if cp == len(key) && cp == len(nd.key) {
+			return &leafNode{key: nd.key, val: value}
+		}
+		b := &branchNode{}
+		putIntoBranch(b, nd.key[cp:], nd.val)
+		putIntoBranch(b, key[cp:], value)
+		if cp > 0 {
+			return &extNode{key: append([]byte(nil), key[:cp]...), child: b}
+		}
+		return b
+
+	case *extNode:
+		cp := commonPrefixLen(key, nd.key)
+		if cp == len(nd.key) {
+			return &extNode{key: nd.key, child: insert(nd.child, key[cp:], value)}
+		}
+		b := &branchNode{}
+		idx := nd.key[cp]
+		if rest := nd.key[cp+1:]; len(rest) == 0 {
+			b.children[idx] = nd.child
+		} else {
+			b.children[idx] = &extNode{key: append([]byte(nil), rest...), child: nd.child}
+		}
+		putIntoBranch(b, key[cp:], value)
+		if cp > 0 {
+			return &extNode{key: append([]byte(nil), key[:cp]...), child: b}
+		}
+		return b
+
+	case *branchNode:
+		nb := &branchNode{children: nd.children, value: nd.value, hasValue: nd.hasValue}
+		if len(key) == 0 {
+			nb.value, nb.hasValue = value, true
+			return nb
+		}
+		nb.children[key[0]] = insert(nd.children[key[0]], key[1:], value)
+		return nb
+	}
+	return nil
+}
+
+// remove returns a new subtree with key removed, and whether it was found.
+func remove(n node, key []byte) (node, bool) {
+	switch nd := n.(type) {
+	case nil:
+		return nil, false
+
+	case *leafNode:
+		if bytes.Equal(nd.key, key) {
+			return nil, true
+		}
+		return nd, false
+
+	case *extNode:
+		if len(key) < len(nd.key) || !bytes.Equal(nd.key, key[:len(nd.key)]) {
+			return nd, false
+		}
+		child, found := remove(nd.child, key[len(nd.key):])
+		if !found {
+			return nd, false
+		}
+		switch c := child.(type) {
+		case nil:
+			return nil, true
+		case *leafNode:
+			return &leafNode{key: concatNibbles(nd.key, c.key), val: c.val}, true
+		case *extNode:
+			return &extNode{key: concatNibbles(nd.key, c.key), child: c.child}, true
+		default:
+			return &extNode{key: nd.key, child: child}, true
+		}
+
+	case *branchNode:
+		nb := &branchNode{children: nd.children, value: nd.value, hasValue: nd.hasValue}
+		if len(key) == 0 {
+			if !nd.hasValue {
+				return nd, false
+			}
+			nb.value, nb.hasValue = nil, false
+		} else {
+			child, found := remove(nd.children[key[0]], key[1:])
+			if !found {
+				return nd, false
+			}
+			nb.children[key[0]] = child
+		}
+		return collapseBranch(nb), true
+	}
+	return nil, false
+}
+
+// collapseBranch restores trie invariants after a deletion: a branch with a
+// single remaining entry becomes a leaf or extension.
+func collapseBranch(b *branchNode) node {
+	childCount := 0
+	lastIdx := -1
+	for i, c := range b.children {
+		if c != nil {
+			childCount++
+			lastIdx = i
+		}
+	}
+	switch {
+	case childCount == 0 && !b.hasValue:
+		return nil
+	case childCount == 0: // only the value remains
+		return &leafNode{key: []byte{}, val: b.value}
+	case childCount == 1 && !b.hasValue:
+		prefix := []byte{byte(lastIdx)}
+		switch c := b.children[lastIdx].(type) {
+		case *leafNode:
+			return &leafNode{key: concatNibbles(prefix, c.key), val: c.val}
+		case *extNode:
+			return &extNode{key: concatNibbles(prefix, c.key), child: c.child}
+		default:
+			return &extNode{key: prefix, child: c}
+		}
+	default:
+		return b
+	}
+}
+
+func concatNibbles(a, b []byte) []byte {
+	out := make([]byte, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// hexPrefix encodes a nibble path into compact hex-prefix form.
+// leaf=true sets the terminator flag.
+func hexPrefix(nibbles []byte, leaf bool) []byte {
+	flag := byte(0)
+	if leaf {
+		flag = 2
+	}
+	odd := len(nibbles) % 2
+	out := make([]byte, 1+len(nibbles)/2)
+	if odd == 1 {
+		out[0] = (flag+1)<<4 | nibbles[0]
+		nibbles = nibbles[1:]
+	} else {
+		out[0] = flag << 4
+	}
+	for i := 0; i < len(nibbles); i += 2 {
+		out[1+i/2] = nibbles[i]<<4 | nibbles[i+1]
+	}
+	return out
+}
+
+// encodeNode returns the RLP encoding of n (the full node body).
+func encodeNode(n node) []byte {
+	switch nd := n.(type) {
+	case *leafNode:
+		return rlp.EncodeList(
+			rlp.EncodeString(hexPrefix(nd.key, true)),
+			rlp.EncodeString(nd.val),
+		)
+	case *extNode:
+		return rlp.EncodeList(
+			rlp.EncodeString(hexPrefix(nd.key, false)),
+			nodeRef(nd.child),
+		)
+	case *branchNode:
+		items := make([][]byte, 17)
+		for i, c := range nd.children {
+			if c == nil {
+				items[i] = rlp.EncodeString(nil)
+			} else {
+				items[i] = nodeRef(c)
+			}
+		}
+		items[16] = rlp.EncodeString(nd.value)
+		return rlp.EncodeList(items...)
+	}
+	return rlp.EncodeString(nil)
+}
+
+// nodeRef returns how a child is referenced inside its parent: embedded
+// directly when its encoding is shorter than 32 bytes, by keccak hash
+// otherwise. The result is cached on the node.
+func nodeRef(n node) []byte {
+	slot := n.cache()
+	if p := slot.Load(); p != nil {
+		return *p
+	}
+	enc := encodeNode(n)
+	var ref []byte
+	if len(enc) < 32 {
+		ref = enc
+	} else {
+		ref = rlp.EncodeString(crypto.Keccak256(enc))
+	}
+	slot.Store(&ref)
+	return ref
+}
+
+// Hash returns the trie's root hash (the Ethereum state root rule:
+// keccak256 of the root node encoding, or EmptyRoot for an empty trie).
+func (t *Trie) Hash() [32]byte {
+	if t.root == nil {
+		return EmptyRoot
+	}
+	return crypto.Sum256(encodeNode(t.root))
+}
+
+// Len returns the number of keys in the trie (O(n), for tests and stats).
+func (t *Trie) Len() int {
+	return count(t.root)
+}
+
+func count(n node) int {
+	switch nd := n.(type) {
+	case nil:
+		return 0
+	case *leafNode:
+		return 1
+	case *extNode:
+		return count(nd.child)
+	case *branchNode:
+		c := 0
+		if nd.hasValue {
+			c = 1
+		}
+		for _, ch := range nd.children {
+			c += count(ch)
+		}
+		return c
+	}
+	return 0
+}
+
+// ForEach visits every (key, value) pair in lexicographic key order. The key
+// passed to fn is the original byte key; fn returning false stops the walk.
+func (t *Trie) ForEach(fn func(key, value []byte) bool) {
+	walk(t.root, nil, fn)
+}
+
+func walk(n node, prefix []byte, fn func(key, value []byte) bool) bool {
+	switch nd := n.(type) {
+	case nil:
+		return true
+	case *leafNode:
+		return fn(nibblesToKeybytes(append(prefix, nd.key...)), nd.val)
+	case *extNode:
+		return walk(nd.child, append(prefix, nd.key...), fn)
+	case *branchNode:
+		if nd.hasValue {
+			if !fn(nibblesToKeybytes(prefix), nd.value) {
+				return false
+			}
+		}
+		for i, c := range nd.children {
+			if c == nil {
+				continue
+			}
+			if !walk(c, append(prefix, byte(i)), fn) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// nibblesToKeybytes packs an even-length nibble path back into bytes.
+func nibblesToKeybytes(nibbles []byte) []byte {
+	out := make([]byte, len(nibbles)/2)
+	for i := range out {
+		out[i] = nibbles[i*2]<<4 | nibbles[i*2+1]
+	}
+	return out
+}

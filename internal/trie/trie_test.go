@@ -1,0 +1,309 @@
+package trie
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func hexRoot(t *Trie) string {
+	h := t.Hash()
+	return hex.EncodeToString(h[:])
+}
+
+func TestEmptyRoot(t *testing.T) {
+	tr := New()
+	if got := hexRoot(tr); got != "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421" {
+		t.Fatalf("empty root = %s", got)
+	}
+}
+
+// Canonical vectors from the Ethereum trie test suite.
+func TestSpecRoots(t *testing.T) {
+	cases := []struct {
+		kvs  [][2]string
+		want string
+	}{
+		{
+			[][2]string{{"doe", "reindeer"}, {"dog", "puppy"}, {"dogglesworth", "cat"}},
+			"8aad789dff2f538bca5d8ea56e8abe10f4c7ba3a5dea95fea4cd6e7c3a1168d3",
+		},
+		{
+			[][2]string{{"do", "verb"}, {"dog", "puppy"}, {"doge", "coin"}, {"horse", "stallion"}},
+			"5991bb8c6514148a29db676a14ac506cd2cd5775ace63c30a4fe457715e9ac84",
+		},
+	}
+	for i, c := range cases {
+		tr := New()
+		for _, kv := range c.kvs {
+			tr.Update([]byte(kv[0]), []byte(kv[1]))
+		}
+		if got := hexRoot(tr); got != c.want {
+			t.Errorf("case %d root = %s, want %s", i, got, c.want)
+		}
+	}
+}
+
+func TestGetUpdateDelete(t *testing.T) {
+	tr := New()
+	tr.Update([]byte("key"), []byte("value"))
+	if got := tr.Get([]byte("key")); string(got) != "value" {
+		t.Fatalf("Get = %q", got)
+	}
+	tr.Update([]byte("key"), []byte("value2"))
+	if got := tr.Get([]byte("key")); string(got) != "value2" {
+		t.Fatalf("Get after update = %q", got)
+	}
+	tr.Delete([]byte("key"))
+	if got := tr.Get([]byte("key")); got != nil {
+		t.Fatalf("Get after delete = %q", got)
+	}
+	if hexRoot(tr) != hexRoot(New()) {
+		t.Fatal("delete of only key did not restore empty root")
+	}
+}
+
+func TestEmptyValueDeletes(t *testing.T) {
+	tr := New()
+	tr.Update([]byte("a"), []byte("1"))
+	tr.Update([]byte("a"), nil)
+	if tr.Get([]byte("a")) != nil {
+		t.Fatal("empty value did not delete")
+	}
+}
+
+func TestInsertionOrderIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	kvs := map[string]string{}
+	for i := 0; i < 200; i++ {
+		k := make([]byte, 1+r.Intn(8))
+		r.Read(k)
+		kvs[string(k)] = fmt.Sprintf("val-%d", i)
+	}
+	keys := make([]string, 0, len(kvs))
+	for k := range kvs {
+		keys = append(keys, k)
+	}
+
+	var firstRoot string
+	for trial := 0; trial < 5; trial++ {
+		r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		tr := New()
+		for _, k := range keys {
+			tr.Update([]byte(k), []byte(kvs[k]))
+		}
+		root := hexRoot(tr)
+		if trial == 0 {
+			firstRoot = root
+		} else if root != firstRoot {
+			t.Fatalf("trial %d root %s != %s", trial, root, firstRoot)
+		}
+	}
+}
+
+// TestRandomOpsAgainstModel drives the trie with random updates/deletes and
+// checks every lookup and the final root against a model map.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	model := map[string][]byte{}
+	tr := New()
+
+	keyPool := make([][]byte, 60)
+	for i := range keyPool {
+		k := make([]byte, 1+r.Intn(10))
+		r.Read(k)
+		keyPool[i] = k
+	}
+
+	for op := 0; op < 5000; op++ {
+		k := keyPool[r.Intn(len(keyPool))]
+		switch r.Intn(3) {
+		case 0, 1:
+			v := make([]byte, 1+r.Intn(40))
+			r.Read(v)
+			tr.Update(k, v)
+			model[string(k)] = v
+		case 2:
+			tr.Delete(k)
+			delete(model, string(k))
+		}
+		if op%97 == 0 { // periodic full audit
+			for ks, v := range model {
+				if got := tr.Get([]byte(ks)); !bytes.Equal(got, v) {
+					t.Fatalf("op %d: Get(%x) = %x, want %x", op, ks, got, v)
+				}
+			}
+		}
+	}
+
+	// Root must match a trie freshly built from the final model.
+	fresh := New()
+	for ks, v := range model {
+		fresh.Update([]byte(ks), v)
+	}
+	if hexRoot(tr) != hexRoot(fresh) {
+		t.Fatalf("mutated root %s != fresh root %s (model size %d)", hexRoot(tr), hexRoot(fresh), len(model))
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(model))
+	}
+}
+
+func TestDeleteRestoresRoot(t *testing.T) {
+	tr := New()
+	base := map[string]string{"abc": "1", "abd": "2", "xyz": "3", "ab": "4"}
+	for k, v := range base {
+		tr.Update([]byte(k), []byte(v))
+	}
+	before := hexRoot(tr)
+	tr.Update([]byte("abe"), []byte("tmp"))
+	tr.Delete([]byte("abe"))
+	if got := hexRoot(tr); got != before {
+		t.Fatalf("insert+delete changed root: %s != %s", got, before)
+	}
+}
+
+func TestCopyIsolation(t *testing.T) {
+	tr := New()
+	tr.Update([]byte("shared"), []byte("v1"))
+	snap := tr.Copy()
+	snapRoot := hexRoot(snap)
+
+	tr.Update([]byte("shared"), []byte("v2"))
+	tr.Update([]byte("new"), []byte("x"))
+
+	if got := snap.Get([]byte("shared")); string(got) != "v1" {
+		t.Fatalf("snapshot value changed: %q", got)
+	}
+	if snap.Get([]byte("new")) != nil {
+		t.Fatal("snapshot sees later insert")
+	}
+	if hexRoot(snap) != snapRoot {
+		t.Fatal("snapshot root changed")
+	}
+	// And the reverse: mutating the snapshot must not affect the original.
+	snap.Update([]byte("snap-only"), []byte("y"))
+	if tr.Get([]byte("snap-only")) != nil {
+		t.Fatal("original sees snapshot insert")
+	}
+}
+
+func TestConcurrentHashing(t *testing.T) {
+	// Two tries sharing subtrees may be hashed concurrently (pipeline case).
+	tr := New()
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 500; i++ {
+		k := make([]byte, 8)
+		r.Read(k)
+		tr.Update(k, []byte{byte(i)})
+	}
+	copies := make([]*Trie, 8)
+	for i := range copies {
+		c := tr.Copy()
+		c.Update([]byte{byte(i)}, []byte("divergent"))
+		copies[i] = c
+	}
+	var wg sync.WaitGroup
+	roots := make([][32]byte, len(copies))
+	for i, c := range copies {
+		wg.Add(1)
+		go func(i int, c *Trie) {
+			defer wg.Done()
+			roots[i] = c.Hash()
+		}(i, c)
+	}
+	wg.Wait()
+	for i := 1; i < len(roots); i++ {
+		if roots[i] == roots[0] {
+			continue // divergent keys should give different roots, checked below
+		}
+	}
+	// All copies differ from each other (they wrote different keys).
+	seen := map[[32]byte]bool{}
+	for _, r := range roots {
+		if seen[r] {
+			t.Fatal("two divergent copies share a root")
+		}
+		seen[r] = true
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	tr := New()
+	keys := []string{"b", "a", "ab", "abc", "zz", "a0"}
+	for i, k := range keys {
+		tr.Update([]byte(k), []byte{byte(i)})
+	}
+	var visited []string
+	tr.ForEach(func(k, v []byte) bool {
+		visited = append(visited, string(k))
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(visited) != len(want) {
+		t.Fatalf("visited %d keys, want %d", len(visited), len(want))
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("order: got %v, want %v", visited, want)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Update([]byte{byte(i)}, []byte{1})
+	}
+	n := 0
+	tr.ForEach(func(k, v []byte) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("visited %d, want 3", n)
+	}
+}
+
+func TestLongKeys(t *testing.T) {
+	tr := New()
+	k1 := bytes.Repeat([]byte{0xaa}, 32) // hashed-key length used by the state
+	k2 := append(bytes.Repeat([]byte{0xaa}, 31), 0xab)
+	tr.Update(k1, []byte("one"))
+	tr.Update(k2, []byte("two"))
+	if string(tr.Get(k1)) != "one" || string(tr.Get(k2)) != "two" {
+		t.Fatal("long diverging keys broken")
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	tr := New()
+	var k [32]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k[0], k[1], k[2], k[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+		tr.Update(k[:], k[:8])
+	}
+}
+
+func BenchmarkHashIncremental(b *testing.B) {
+	tr := New()
+	var k [32]byte
+	for i := 0; i < 5000; i++ {
+		k[0], k[1], k[2] = byte(i), byte(i>>8), byte(i>>16)
+		tr.Update(k[:], k[:8])
+	}
+	tr.Hash() // warm the caches
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k[0], k[1], k[2] = byte(i), byte(i>>8), byte(i>>16)
+		tr.Update(k[:], []byte{byte(i), 1})
+		tr.Hash()
+	}
+}

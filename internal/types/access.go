@@ -1,0 +1,406 @@
+package types
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"blockpilot/internal/rlp"
+)
+
+// KeyKind distinguishes the two conflict-detection units observed in real
+// Ethereum workloads (Garamvölgyi et al.): account counters and storage.
+type KeyKind uint8
+
+const (
+	// KeyAccount covers an account's balance, nonce and code as one unit.
+	KeyAccount KeyKind = iota
+	// KeyStorage covers a single contract storage slot.
+	KeyStorage
+)
+
+// StateKey identifies one unit of conflict detection: an account, or one
+// storage slot of a contract account. StateKey is comparable and is used as
+// the key of the proposer's reserve table and the validator's dependency
+// analysis.
+type StateKey struct {
+	Addr Address
+	Slot Hash // zero unless Kind == KeyStorage
+	Kind KeyKind
+}
+
+// AccountKey returns the account-level key for addr.
+func AccountKey(addr Address) StateKey {
+	return StateKey{Addr: addr, Kind: KeyAccount}
+}
+
+// StorageKey returns the storage-slot key for (addr, slot).
+func StorageKey(addr Address, slot Hash) StateKey {
+	return StateKey{Addr: addr, Slot: slot, Kind: KeyStorage}
+}
+
+func (k StateKey) String() string {
+	if k.Kind == KeyAccount {
+		return fmt.Sprintf("acct:%s", k.Addr)
+	}
+	return fmt.Sprintf("slot:%s[%s]", k.Addr, k.Slot)
+}
+
+// Less imposes a deterministic total order on keys (for profile encoding).
+func (k StateKey) Less(o StateKey) bool {
+	if k.Kind != o.Kind {
+		return k.Kind < o.Kind
+	}
+	if c := bytes.Compare(k.Addr[:], o.Addr[:]); c != 0 {
+		return c < 0
+	}
+	return bytes.Compare(k.Slot[:], o.Slot[:]) < 0
+}
+
+// Version numbers state snapshots in the proposer's OCC-WSI engine: version
+// N is the state after the N-th committed transaction of the block.
+type Version = uint64
+
+// AccessSet records the reads (with the version each read observed) and the
+// writes performed by a single speculative execution.
+type AccessSet struct {
+	Reads  map[StateKey]Version
+	Writes map[StateKey]struct{}
+}
+
+// NewAccessSet returns an empty access set.
+func NewAccessSet() *AccessSet {
+	return &AccessSet{
+		Reads:  make(map[StateKey]Version),
+		Writes: make(map[StateKey]struct{}),
+	}
+}
+
+// NoteRead records that key was read at the given snapshot version. The
+// first observation wins: re-reads within one execution see the same
+// snapshot, so the version cannot change.
+func (a *AccessSet) NoteRead(key StateKey, v Version) {
+	if _, ok := a.Reads[key]; !ok {
+		a.Reads[key] = v
+	}
+}
+
+// NoteWrite records that key was written.
+func (a *AccessSet) NoteWrite(key StateKey) {
+	a.Writes[key] = struct{}{}
+}
+
+// ConflictsWith reports whether the two access sets have a read-write,
+// write-read or write-write overlap — i.e. whether the two executions must
+// be ordered. Read-read overlap is not a conflict.
+func (a *AccessSet) ConflictsWith(b *AccessSet) bool {
+	// Iterate over the smaller write set against the larger maps.
+	for k := range a.Writes {
+		if _, ok := b.Writes[k]; ok {
+			return true
+		}
+		if _, ok := b.Reads[k]; ok {
+			return true
+		}
+	}
+	for k := range b.Writes {
+		if _, ok := a.Reads[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Touched returns every key in the set (reads ∪ writes), deterministic order.
+func (a *AccessSet) Touched() []StateKey {
+	seen := make(map[StateKey]struct{}, len(a.Reads)+len(a.Writes))
+	for k := range a.Reads {
+		seen[k] = struct{}{}
+	}
+	for k := range a.Writes {
+		seen[k] = struct{}{}
+	}
+	out := make([]StateKey, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// KeyVersion pairs a state key with the snapshot version it was read at.
+type KeyVersion struct {
+	Key     StateKey
+	Version Version
+}
+
+// TxProfile is the per-transaction execution detail the proposer publishes
+// in the block profile: sorted read set (with versions), sorted write set,
+// and the gas the transaction consumed (the validator's scheduling weight).
+type TxProfile struct {
+	Reads   []KeyVersion
+	Writes  []StateKey
+	GasUsed uint64
+}
+
+// ProfileFromAccessSet converts a raw access set into canonical sorted form.
+func ProfileFromAccessSet(a *AccessSet, gasUsed uint64) *TxProfile {
+	p := &TxProfile{GasUsed: gasUsed}
+	p.Reads = make([]KeyVersion, 0, len(a.Reads))
+	for k, v := range a.Reads {
+		p.Reads = append(p.Reads, KeyVersion{Key: k, Version: v})
+	}
+	sort.Slice(p.Reads, func(i, j int) bool { return p.Reads[i].Key.Less(p.Reads[j].Key) })
+	p.Writes = make([]StateKey, 0, len(a.Writes))
+	for k := range a.Writes {
+		p.Writes = append(p.Writes, k)
+	}
+	sort.Slice(p.Writes, func(i, j int) bool { return p.Writes[i].Less(p.Writes[j]) })
+	return p
+}
+
+// AccessSetFromProfile reconstructs an access set (inverse of
+// ProfileFromAccessSet), used by validators for conflict analysis.
+func AccessSetFromProfile(p *TxProfile) *AccessSet {
+	a := NewAccessSet()
+	for _, kv := range p.Reads {
+		a.Reads[kv.Key] = kv.Version
+	}
+	for _, k := range p.Writes {
+		a.Writes[k] = struct{}{}
+	}
+	return a
+}
+
+// Conflicts reports whether two transaction profiles must be ordered:
+// any write∩(write∪read) overlap, optionally coarsened to account level.
+//
+// accountLevel mirrors the paper's validator, which detects conflicts "from
+// the account level" because counters change in every transaction; the
+// slot-granular variant is kept for the ablation study.
+func (p *TxProfile) Conflicts(q *TxProfile, accountLevel bool) bool {
+	norm := func(k StateKey) StateKey {
+		if accountLevel {
+			return AccountKey(k.Addr)
+		}
+		return k
+	}
+	pw := make(map[StateKey]struct{}, len(p.Writes))
+	for _, k := range p.Writes {
+		pw[norm(k)] = struct{}{}
+	}
+	for _, k := range q.Writes {
+		if _, ok := pw[norm(k)]; ok {
+			return true
+		}
+	}
+	for _, kv := range q.Reads {
+		if _, ok := pw[norm(kv.Key)]; ok {
+			return true
+		}
+	}
+	qw := make(map[StateKey]struct{}, len(q.Writes))
+	for _, k := range q.Writes {
+		qw[norm(k)] = struct{}{}
+	}
+	for _, kv := range p.Reads {
+		if _, ok := qw[norm(kv.Key)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockProfile is the execution metadata the proposer broadcasts alongside
+// the block (paper §4.2): one TxProfile per transaction, in block order.
+type BlockProfile struct {
+	Txs []*TxProfile
+}
+
+// Encode serializes the profile to RLP for broadcast.
+func (bp *BlockProfile) Encode() []byte {
+	txItems := make([][]byte, len(bp.Txs))
+	for i, tp := range bp.Txs {
+		reads := make([][]byte, len(tp.Reads))
+		for j, kv := range tp.Reads {
+			reads[j] = encodeKeyVersion(kv)
+		}
+		writes := make([][]byte, len(tp.Writes))
+		for j, k := range tp.Writes {
+			writes[j] = encodeKey(k)
+		}
+		txItems[i] = rlp.EncodeList(
+			rlp.EncodeList(reads...),
+			rlp.EncodeList(writes...),
+			rlp.EncodeUint(tp.GasUsed),
+		)
+	}
+	return rlp.EncodeList(txItems...)
+}
+
+func encodeKey(k StateKey) []byte {
+	return rlp.EncodeList(
+		rlp.EncodeUint(uint64(k.Kind)),
+		rlp.EncodeString(k.Addr.Bytes()),
+		rlp.EncodeString(k.Slot.Bytes()),
+	)
+}
+
+func encodeKeyVersion(kv KeyVersion) []byte {
+	return rlp.EncodeList(
+		rlp.EncodeUint(uint64(kv.Key.Kind)),
+		rlp.EncodeString(kv.Key.Addr.Bytes()),
+		rlp.EncodeString(kv.Key.Slot.Bytes()),
+		rlp.EncodeUint(kv.Version),
+	)
+}
+
+// DecodeBlockProfile parses a profile from its RLP encoding.
+func DecodeBlockProfile(b []byte) (*BlockProfile, error) {
+	content, rest, err := rlp.SplitList(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, rlp.ErrTrailing
+	}
+	txElems, err := rlp.ListElems(content)
+	if err != nil {
+		return nil, err
+	}
+	bp := &BlockProfile{Txs: make([]*TxProfile, 0, len(txElems))}
+	for _, te := range txElems {
+		tp := &TxProfile{}
+		tc, _, err := rlp.SplitList(te)
+		if err != nil {
+			return nil, err
+		}
+		readsList, tc, err := rlp.SplitList(tc)
+		if err != nil {
+			return nil, err
+		}
+		readElems, err := rlp.ListElems(readsList)
+		if err != nil {
+			return nil, err
+		}
+		for _, re := range readElems {
+			kv, err := decodeKeyVersion(re)
+			if err != nil {
+				return nil, err
+			}
+			tp.Reads = append(tp.Reads, kv)
+		}
+		writesList, tc, err := rlp.SplitList(tc)
+		if err != nil {
+			return nil, err
+		}
+		writeElems, err := rlp.ListElems(writesList)
+		if err != nil {
+			return nil, err
+		}
+		for _, we := range writeElems {
+			k, _, err := decodeKey(we)
+			if err != nil {
+				return nil, err
+			}
+			tp.Writes = append(tp.Writes, k)
+		}
+		if tp.GasUsed, tc, err = rlp.SplitUint(tc); err != nil {
+			return nil, err
+		}
+		if len(tc) != 0 {
+			return nil, rlp.ErrTrailing
+		}
+		bp.Txs = append(bp.Txs, tp)
+	}
+	return bp, nil
+}
+
+func decodeKey(b []byte) (StateKey, []byte, error) {
+	var k StateKey
+	content, _, err := rlp.SplitList(b)
+	if err != nil {
+		return k, nil, err
+	}
+	kind, content, err := rlp.SplitUint(content)
+	if err != nil {
+		return k, nil, err
+	}
+	k.Kind = KeyKind(kind)
+	var s []byte
+	if s, content, err = rlp.SplitString(content); err != nil {
+		return k, nil, err
+	}
+	k.Addr = BytesToAddress(s)
+	if s, content, err = rlp.SplitString(content); err != nil {
+		return k, nil, err
+	}
+	k.Slot = BytesToHash(s)
+	return k, content, nil
+}
+
+func decodeKeyVersion(b []byte) (KeyVersion, error) {
+	var kv KeyVersion
+	content, _, err := rlp.SplitList(b)
+	if err != nil {
+		return kv, err
+	}
+	kind, content, err := rlp.SplitUint(content)
+	if err != nil {
+		return kv, err
+	}
+	kv.Key.Kind = KeyKind(kind)
+	var s []byte
+	if s, content, err = rlp.SplitString(content); err != nil {
+		return kv, err
+	}
+	kv.Key.Addr = BytesToAddress(s)
+	if s, content, err = rlp.SplitString(content); err != nil {
+		return kv, err
+	}
+	kv.Key.Slot = BytesToHash(s)
+	if kv.Version, _, err = rlp.SplitUint(content); err != nil {
+		return kv, err
+	}
+	return kv, nil
+}
+
+// Equal reports whether two profiles are identical (used by the applier to
+// check a worker's observed access set against the proposer's claim).
+func (p *TxProfile) Equal(q *TxProfile) bool {
+	if p.GasUsed != q.GasUsed || len(p.Reads) != len(q.Reads) || len(p.Writes) != len(q.Writes) {
+		return false
+	}
+	for i := range p.Reads {
+		if p.Reads[i] != q.Reads[i] {
+			return false
+		}
+	}
+	for i := range p.Writes {
+		if p.Writes[i] != q.Writes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameAccessKeys reports whether two profiles touch exactly the same keys in
+// the same read/write roles, ignoring versions and gas. Validators use this
+// weaker check when replaying on a different base state than the proposer
+// packed against (read versions are proposer-schedule specific).
+func (p *TxProfile) SameAccessKeys(q *TxProfile) bool {
+	if len(p.Reads) != len(q.Reads) || len(p.Writes) != len(q.Writes) {
+		return false
+	}
+	for i := range p.Reads {
+		if p.Reads[i].Key != q.Reads[i].Key {
+			return false
+		}
+	}
+	for i := range p.Writes {
+		if p.Writes[i] != q.Writes[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,67 @@
+package types
+
+import "blockpilot/internal/crypto"
+
+// Bloom is Ethereum's 2048-bit log bloom filter. Each logged address and
+// topic sets three bits derived from its Keccak-256 hash; the header's
+// bloom is the union over all receipts, letting clients skip blocks that
+// cannot contain a sought event.
+type Bloom [256]byte
+
+// bloomBits returns the three bit positions for one datum.
+func bloomBits(data []byte) [3]uint {
+	h := crypto.Keccak256(data)
+	var out [3]uint
+	for i := 0; i < 3; i++ {
+		out[i] = uint(h[i*2])<<8 | uint(h[i*2+1])
+		out[i] &= 2047
+	}
+	return out
+}
+
+// Add sets the bits for data.
+func (b *Bloom) Add(data []byte) {
+	for _, bit := range bloomBits(data) {
+		b[255-bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// Contains reports whether data's bits are all set (probabilistic: false
+// positives possible, false negatives impossible).
+func (b *Bloom) Contains(data []byte) bool {
+	for _, bit := range bloomBits(data) {
+		if b[255-bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Or merges other into b.
+func (b *Bloom) Or(other *Bloom) {
+	for i := range b {
+		b[i] |= other[i]
+	}
+}
+
+// LogsBloom returns the bloom of one log: its address and every topic.
+func LogsBloom(l *Log) Bloom {
+	var b Bloom
+	b.Add(l.Address.Bytes())
+	for _, t := range l.Topics {
+		b.Add(t.Bytes())
+	}
+	return b
+}
+
+// CreateBloom unions the blooms of every log in every receipt.
+func CreateBloom(receipts []*Receipt) Bloom {
+	var b Bloom
+	for _, r := range receipts {
+		for _, l := range r.Logs {
+			lb := LogsBloom(l)
+			b.Or(&lb)
+		}
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBloomAddContains(t *testing.T) {
+	var b Bloom
+	addr := BytesToAddress([]byte{1, 2, 3})
+	if b.Contains(addr.Bytes()) {
+		t.Fatal("empty bloom contains data")
+	}
+	b.Add(addr.Bytes())
+	if !b.Contains(addr.Bytes()) {
+		t.Fatal("bloom missing added data")
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var b Bloom
+	var added [][]byte
+	for i := 0; i < 200; i++ {
+		d := make([]byte, 20)
+		r.Read(d)
+		b.Add(d)
+		added = append(added, d)
+	}
+	for _, d := range added {
+		if !b.Contains(d) {
+			t.Fatalf("false negative for %x", d)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRateSane(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var b Bloom
+	for i := 0; i < 50; i++ { // 150 bits of 2048 set at most
+		d := make([]byte, 20)
+		r.Read(d)
+		b.Add(d)
+	}
+	fp := 0
+	const probes = 2000
+	for i := 0; i < probes; i++ {
+		d := make([]byte, 20)
+		r.Read(d)
+		if b.Contains(d) {
+			fp++
+		}
+	}
+	// With ≤150/2048 bits set, P(fp) ≈ (150/2048)^3 ≈ 4e-4.
+	if fp > probes/100 {
+		t.Fatalf("false positive rate too high: %d/%d", fp, probes)
+	}
+}
+
+func TestCreateBloomFromReceipts(t *testing.T) {
+	logAddr := BytesToAddress([]byte{0xAA})
+	topic := BytesToHash([]byte{0xBB})
+	receipts := []*Receipt{
+		{Status: 1, Logs: []*Log{{Address: logAddr, Topics: []Hash{topic}}}},
+		{Status: 1}, // no logs
+	}
+	b := CreateBloom(receipts)
+	if !b.Contains(logAddr.Bytes()) {
+		t.Fatal("bloom missing log address")
+	}
+	if !b.Contains(topic.Bytes()) {
+		t.Fatal("bloom missing topic")
+	}
+	other := BytesToAddress([]byte{0xCC})
+	if b.Contains(other.Bytes()) {
+		t.Fatal("unlikely false positive — check bit derivation")
+	}
+}
+
+func TestBloomOr(t *testing.T) {
+	var a, b Bloom
+	a.Add([]byte("left"))
+	b.Add([]byte("right"))
+	a.Or(&b)
+	if !a.Contains([]byte("left")) || !a.Contains([]byte("right")) {
+		t.Fatal("Or lost bits")
+	}
+}
+
+func TestHeaderHashCoversBloom(t *testing.T) {
+	h1 := Header{Number: 1}
+	h2 := h1
+	h2.LogsBloom.Add([]byte("x"))
+	if h1.Hash() == h2.Hash() {
+		t.Fatal("bloom not part of header hash")
+	}
+}

@@ -1,0 +1,62 @@
+package types
+
+import (
+	"testing"
+)
+
+// FuzzDecodeTransaction: arbitrary bytes must never panic, and anything
+// accepted must re-encode to an equal transaction.
+func FuzzDecodeTransaction(f *testing.F) {
+	f.Add(sampleTx(1).Encode())
+	f.Add(sampleTx(0).Encode())
+	f.Add([]byte{0xc0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tx, err := DecodeTransaction(b)
+		if err != nil {
+			return
+		}
+		re, err := DecodeTransaction(tx.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if re.Hash() != tx.Hash() {
+			t.Fatal("hash changed through round trip")
+		}
+	})
+}
+
+// FuzzDecodeBlock: arbitrary bytes must never panic the block decoder.
+func FuzzDecodeBlock(f *testing.F) {
+	f.Add(sampleBlock(true).Encode())
+	f.Add(sampleBlock(false).Encode())
+	f.Add([]byte{0xc2, 0xc0, 0xc0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		blk, err := DecodeBlock(b)
+		if err != nil {
+			return
+		}
+		re, err := DecodeBlock(blk.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if re.Hash() != blk.Hash() {
+			t.Fatal("hash changed through round trip")
+		}
+	})
+}
+
+// FuzzDecodeBlockProfile: profile decoding robustness.
+func FuzzDecodeBlockProfile(f *testing.F) {
+	f.Add(sampleBlock(true).Profile.Encode())
+	f.Add([]byte{0xc0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := DecodeBlockProfile(b)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeBlockProfile(p.Encode()); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,329 @@
+// Package types defines the core blockchain data model: addresses, hashes,
+// transactions, headers, blocks, receipts, and the access-set / block-profile
+// structures that BlockPilot's proposer attaches to blocks so validators can
+// schedule and verify parallel execution.
+package types
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"blockpilot/internal/crypto"
+	"blockpilot/internal/rlp"
+	"blockpilot/internal/trie"
+	"blockpilot/internal/uint256"
+)
+
+// AddressLength is the byte length of an account address.
+const AddressLength = 20
+
+// HashLength is the byte length of a Keccak-256 hash.
+const HashLength = 32
+
+// Address is a 20-byte account identifier.
+type Address [AddressLength]byte
+
+// Hash is a 32-byte Keccak-256 digest.
+type Hash [HashLength]byte
+
+// BytesToAddress returns an Address from the low 20 bytes of b.
+func BytesToAddress(b []byte) Address {
+	var a Address
+	if len(b) > AddressLength {
+		b = b[len(b)-AddressLength:]
+	}
+	copy(a[AddressLength-len(b):], b)
+	return a
+}
+
+// HexToAddress parses a 0x-prefixed or bare hex address. Odd-length input
+// is left-padded with a zero nibble.
+func HexToAddress(s string) Address {
+	if len(s) >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		s = s[2:]
+	}
+	if len(s)%2 == 1 {
+		s = "0" + s
+	}
+	b, _ := hex.DecodeString(s)
+	return BytesToAddress(b)
+}
+
+// Bytes returns the address as a slice.
+func (a Address) Bytes() []byte { return a[:] }
+
+// Hash returns the address left-padded to 32 bytes (EVM word form).
+func (a Address) Hash() Hash {
+	var h Hash
+	copy(h[HashLength-AddressLength:], a[:])
+	return h
+}
+
+// Word returns the address as a 256-bit integer.
+func (a Address) Word() uint256.Int {
+	var w uint256.Int
+	w.SetBytes(a[:])
+	return w
+}
+
+func (a Address) String() string { return "0x" + hex.EncodeToString(a[:]) }
+
+// IsZero reports whether a is the zero address.
+func (a Address) IsZero() bool { return a == Address{} }
+
+// BytesToHash returns a Hash from the low 32 bytes of b.
+func BytesToHash(b []byte) Hash {
+	var h Hash
+	if len(b) > HashLength {
+		b = b[len(b)-HashLength:]
+	}
+	copy(h[HashLength-len(b):], b)
+	return h
+}
+
+// Bytes returns the hash as a slice.
+func (h Hash) Bytes() []byte { return h[:] }
+
+func (h Hash) String() string { return "0x" + hex.EncodeToString(h[:]) }
+
+// Word returns the hash as a 256-bit integer.
+func (h Hash) Word() uint256.Int {
+	var w uint256.Int
+	w.SetBytes(h[:])
+	return w
+}
+
+// WordToHash converts a 256-bit integer to its 32-byte big-endian hash form.
+func WordToHash(w *uint256.Int) Hash { return Hash(w.Bytes32()) }
+
+// Transaction is an account-model transaction. Sender authentication is
+// carried in the From field rather than an ECDSA signature (see DESIGN.md:
+// signature recovery is orthogonal to the execution framework under test).
+// A transaction with CreateContract set deploys Data as init code; the
+// contract address is CreateAddress(From, Nonce), per Ethereum.
+type Transaction struct {
+	Nonce    uint64
+	GasPrice uint256.Int
+	Gas      uint64 // gas limit
+	To       Address
+	Value    uint256.Int
+	Data     []byte
+	From     Address
+	// CreateContract marks a deployment (Ethereum encodes this as an empty
+	// To field; so does our canonical encoding).
+	CreateContract bool
+
+	hash *Hash // cached
+}
+
+// Encode returns the canonical RLP encoding of the transaction.
+func (tx *Transaction) Encode() []byte {
+	to := tx.To.Bytes()
+	if tx.CreateContract {
+		to = nil
+	}
+	return rlp.EncodeList(
+		rlp.EncodeUint(tx.Nonce),
+		rlp.EncodeString(tx.GasPrice.Bytes()),
+		rlp.EncodeUint(tx.Gas),
+		rlp.EncodeString(to),
+		rlp.EncodeString(tx.Value.Bytes()),
+		rlp.EncodeString(tx.Data),
+		rlp.EncodeString(tx.From.Bytes()),
+	)
+}
+
+// DecodeTransaction parses a transaction from its canonical RLP encoding.
+func DecodeTransaction(b []byte) (*Transaction, error) {
+	content, rest, err := rlp.SplitList(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, rlp.ErrTrailing
+	}
+	tx := &Transaction{}
+	if tx.Nonce, content, err = rlp.SplitUint(content); err != nil {
+		return nil, fmt.Errorf("tx nonce: %w", err)
+	}
+	var s []byte
+	if s, content, err = rlp.SplitString(content); err != nil {
+		return nil, fmt.Errorf("tx gasprice: %w", err)
+	}
+	tx.GasPrice.SetBytes(s)
+	if tx.Gas, content, err = rlp.SplitUint(content); err != nil {
+		return nil, fmt.Errorf("tx gas: %w", err)
+	}
+	if s, content, err = rlp.SplitString(content); err != nil {
+		return nil, fmt.Errorf("tx to: %w", err)
+	}
+	if len(s) == 0 {
+		tx.CreateContract = true
+	} else {
+		tx.To = BytesToAddress(s)
+	}
+	if s, content, err = rlp.SplitString(content); err != nil {
+		return nil, fmt.Errorf("tx value: %w", err)
+	}
+	tx.Value.SetBytes(s)
+	if s, content, err = rlp.SplitString(content); err != nil {
+		return nil, fmt.Errorf("tx data: %w", err)
+	}
+	tx.Data = append([]byte(nil), s...)
+	if s, content, err = rlp.SplitString(content); err != nil {
+		return nil, fmt.Errorf("tx from: %w", err)
+	}
+	tx.From = BytesToAddress(s)
+	if len(content) != 0 {
+		return nil, rlp.ErrTrailing
+	}
+	return tx, nil
+}
+
+// Hash returns the transaction hash (keccak of the RLP encoding), cached.
+func (tx *Transaction) Hash() Hash {
+	if tx.hash != nil {
+		return *tx.hash
+	}
+	h := Hash(crypto.Sum256(tx.Encode()))
+	tx.hash = &h
+	return h
+}
+
+// Cost returns gasPrice*gasLimit + value: the balance a sender must hold.
+func (tx *Transaction) Cost() uint256.Int {
+	var c, gas uint256.Int
+	gas.SetUint64(tx.Gas)
+	c.Mul(&tx.GasPrice, &gas)
+	c.Add(&c, &tx.Value)
+	return c
+}
+
+// Header is a block header. StateRoot commits to the post-state; a validator
+// accepts the block only if its own re-execution reproduces this root.
+type Header struct {
+	ParentHash  Hash
+	Number      uint64
+	Coinbase    Address
+	StateRoot   Hash
+	TxRoot      Hash
+	ReceiptRoot Hash
+	LogsBloom   Bloom
+	GasLimit    uint64
+	GasUsed     uint64
+	Time        uint64
+	Extra       []byte
+}
+
+// Encode returns the canonical RLP encoding of the header.
+func (h *Header) Encode() []byte {
+	return rlp.EncodeList(
+		rlp.EncodeString(h.ParentHash.Bytes()),
+		rlp.EncodeUint(h.Number),
+		rlp.EncodeString(h.Coinbase.Bytes()),
+		rlp.EncodeString(h.StateRoot.Bytes()),
+		rlp.EncodeString(h.TxRoot.Bytes()),
+		rlp.EncodeString(h.ReceiptRoot.Bytes()),
+		rlp.EncodeString(h.LogsBloom[:]),
+		rlp.EncodeUint(h.GasLimit),
+		rlp.EncodeUint(h.GasUsed),
+		rlp.EncodeUint(h.Time),
+		rlp.EncodeString(h.Extra),
+	)
+}
+
+// Hash returns the header (= block) hash.
+func (h *Header) Hash() Hash {
+	return Hash(crypto.Sum256(h.Encode()))
+}
+
+// Block bundles a header, its transactions, and the BlockPilot block profile
+// that the proposer ships so validators can schedule and verify in parallel.
+type Block struct {
+	Header  Header
+	Txs     []*Transaction
+	Profile *BlockProfile
+}
+
+// Hash returns the block (header) hash.
+func (b *Block) Hash() Hash { return b.Header.Hash() }
+
+// Number returns the block height.
+func (b *Block) Number() uint64 { return b.Header.Number }
+
+// ComputeTxRoot returns the transaction trie root for a transaction list
+// (key = rlp(index), value = tx encoding), per the Ethereum header rule.
+func ComputeTxRoot(txs []*Transaction) Hash {
+	tr := trie.New()
+	for i, tx := range txs {
+		tr.Update(rlp.EncodeUint(uint64(i)), tx.Encode())
+	}
+	return Hash(tr.Hash())
+}
+
+// Log is an EVM event emitted by LOG0..LOG4.
+type Log struct {
+	Address Address
+	Topics  []Hash
+	Data    []byte
+}
+
+// Receipt records the outcome of one executed transaction.
+type Receipt struct {
+	TxHash            Hash
+	Status            uint64 // 1 success, 0 reverted
+	GasUsed           uint64
+	CumulativeGasUsed uint64
+	Logs              []*Log
+	ReturnData        []byte
+	// ContractAddress is set for successful deployment transactions. It is
+	// derivable from (From, Nonce), so — as in Ethereum — it does not enter
+	// the receipt trie encoding.
+	ContractAddress Address
+}
+
+// Encode returns a canonical RLP encoding (for the receipt trie root).
+func (r *Receipt) Encode() []byte {
+	logItems := make([][]byte, len(r.Logs))
+	for i, l := range r.Logs {
+		topicItems := make([][]byte, len(l.Topics))
+		for j, tp := range l.Topics {
+			topicItems[j] = rlp.EncodeString(tp.Bytes())
+		}
+		logItems[i] = rlp.EncodeList(
+			rlp.EncodeString(l.Address.Bytes()),
+			rlp.EncodeList(topicItems...),
+			rlp.EncodeString(l.Data),
+		)
+	}
+	return rlp.EncodeList(
+		rlp.EncodeString(r.TxHash.Bytes()),
+		rlp.EncodeUint(r.Status),
+		rlp.EncodeUint(r.GasUsed),
+		rlp.EncodeUint(r.CumulativeGasUsed),
+		rlp.EncodeList(logItems...),
+	)
+}
+
+// ComputeReceiptRoot returns the receipt trie root.
+func ComputeReceiptRoot(receipts []*Receipt) Hash {
+	tr := trie.New()
+	for i, r := range receipts {
+		tr.Update(rlp.EncodeUint(uint64(i)), r.Encode())
+	}
+	return Hash(tr.Hash())
+}
+
+// CreateAddress computes the address of a contract deployed by (from, nonce),
+// following Ethereum's keccak(rlp([from, nonce]))[12:] rule.
+func CreateAddress(from Address, nonce uint64) Address {
+	enc := rlp.EncodeList(rlp.EncodeString(from.Bytes()), rlp.EncodeUint(nonce))
+	return BytesToAddress(crypto.Keccak256(enc)[12:])
+}
+
+// Create2Address computes the CREATE2 deployment address:
+// keccak(0xff ++ caller ++ salt ++ keccak(initCode))[12:] (EIP-1014).
+func Create2Address(from Address, salt Hash, initCode []byte) Address {
+	codeHash := crypto.Keccak256(initCode)
+	return BytesToAddress(crypto.Keccak256([]byte{0xff}, from.Bytes(), salt.Bytes(), codeHash)[12:])
+}

@@ -1,0 +1,71 @@
+package validator
+
+import (
+	"sync"
+
+	"blockpilot/internal/chain"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+)
+
+// NoProfileResult is ValidateParallelNoProfile's outcome.
+type NoProfileResult struct {
+	*Result
+	// FellBackToSerial reports that speculation mispredicted the dependency
+	// graph and the block was re-validated serially (still authoritative).
+	FellBackToSerial bool
+}
+
+// ValidateParallelNoProfile validates a block whose proposer did not ship a
+// BlockPilot profile (e.g. a stock Geth proposer). A speculative
+// pre-execution pass against the parent state collects every transaction's
+// read/write set — the same trace collection the paper's evaluation uses —
+// and the dependency graph is built from those predicted sets. Because the
+// prediction can be stale for transactions whose control flow depends on
+// intra-block writes, the parallel result is only accepted when it
+// reproduces the header's state root; otherwise the validator falls back to
+// the serial executor, which authoritatively accepts or rejects.
+func ValidateParallelNoProfile(parent *state.Snapshot, parentHeader *types.Header, block *types.Block, cfg Config, params chain.Params) (*NoProfileResult, error) {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	// Speculative trace collection, parallel over the block.
+	bc := chain.BlockContextFor(&block.Header, params.ChainID)
+	profiles := make([]*types.TxProfile, len(block.Txs))
+	var wg sync.WaitGroup
+	stride := cfg.Threads
+	for w := 0; w < stride; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(block.Txs); i += stride {
+				o := state.NewOverlay(parent, types.Version(i))
+				gasUsed := uint64(21000)
+				if receipt, _, err := chain.ApplyTransaction(o, block.Txs[i], bc); err == nil {
+					gasUsed = receipt.GasUsed
+				}
+				// Even on error the observed reads are a usable prediction.
+				profiles[i] = types.ProfileFromAccessSet(o.Access(), gasUsed)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	speculative := *block
+	speculative.Profile = &types.BlockProfile{Txs: profiles}
+	cfg.SkipProfileCheck = true
+
+	res, err := ValidateParallel(parent, parentHeader, &speculative, cfg, params)
+	if err == nil {
+		return &NoProfileResult{Result: res}, nil
+	}
+	// Misprediction (or a genuinely bad block): the serial executor decides.
+	serial, serr := chain.VerifyBlockSerial(parent, parentHeader, block, params)
+	if serr != nil {
+		return nil, serr
+	}
+	return &NoProfileResult{
+		Result:           &Result{State: serial.State, Receipts: serial.Receipts},
+		FellBackToSerial: true,
+	}, nil
+}

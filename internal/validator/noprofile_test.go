@@ -1,0 +1,95 @@
+package validator
+
+import (
+	"testing"
+
+	"blockpilot/internal/chain"
+	"blockpilot/internal/types"
+	"blockpilot/internal/workload"
+)
+
+// stripProfile clones a block without its profile (a stock-Geth proposal).
+func stripProfile(b *types.Block) *types.Block {
+	c := *b
+	c.Profile = nil
+	return &c
+}
+
+func TestNoProfileValidatesHonestBlock(t *testing.T) {
+	parent, parentHeader, block := makeBlock(t, 100)
+	params := chain.DefaultParams()
+	res, err := ValidateParallelNoProfile(parent, parentHeader, stripProfile(block), DefaultConfig(8), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State.Root() != block.Header.StateRoot {
+		t.Fatal("root mismatch")
+	}
+	if res.FellBackToSerial {
+		t.Log("note: speculation mispredicted, serial fallback used")
+	}
+}
+
+func TestNoProfileMatchesSerial(t *testing.T) {
+	parent, parentHeader, block := makeBlock(t, 60)
+	params := chain.DefaultParams()
+	serial, err := chain.VerifyBlockSerial(parent, parentHeader, block, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ValidateParallelNoProfile(parent, parentHeader, stripProfile(block), DefaultConfig(4), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State.Root() != serial.State.Root() {
+		t.Fatal("no-profile validation disagrees with serial")
+	}
+	for i := range serial.Receipts {
+		if serial.Receipts[i].GasUsed != res.Receipts[i].GasUsed {
+			t.Fatalf("receipt %d differs", i)
+		}
+	}
+}
+
+func TestNoProfileRejectsTamperedBlock(t *testing.T) {
+	parent, parentHeader, block := makeBlock(t, 40)
+	params := chain.DefaultParams()
+	bad := stripProfile(block)
+	bad.Header.StateRoot[7] ^= 0xff
+	if _, err := ValidateParallelNoProfile(parent, parentHeader, bad, DefaultConfig(4), params); err == nil {
+		t.Fatal("tampered block accepted")
+	}
+}
+
+func TestNoProfileHighContention(t *testing.T) {
+	// A block that is one giant conflict chain: speculation against the
+	// parent mispredicts most values, but keys stay stable and the result
+	// must still be exact (possibly via fallback).
+	cfg := workload.Default()
+	cfg.NumAccounts = 300
+	cfg.TxPerBlock = 48
+	cfg.NumPairs = 1
+	cfg.NativeRatio = 0
+	cfg.SwapRatio = 1.0
+	cfg.MixerRatio = 0
+	g := workload.New(cfg)
+	parent := g.GenesisState()
+	params := chain.DefaultParams()
+	parentHeader := &types.Header{Number: 0, StateRoot: parent.Root(), GasLimit: params.GasLimit}
+	header := &types.Header{ParentHash: parentHeader.Hash(), Number: 1,
+		Coinbase: coinbase, GasLimit: params.GasLimit, Time: 1}
+	txs := g.NextBlockTxs()
+	sres, err := chain.ExecuteSerial(parent, header, txs, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := chain.SealBlock(parentHeader, coinbase, 1, txs, sres, params)
+
+	res, err := ValidateParallelNoProfile(parent, parentHeader, stripProfile(block), DefaultConfig(8), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State.Root() != block.Header.StateRoot {
+		t.Fatal("root mismatch under contention")
+	}
+}

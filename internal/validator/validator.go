@@ -1,0 +1,232 @@
+// Package validator implements BlockPilot's validation context (paper §4.3
+// and Algorithm 2): dependency-graph parallel re-execution of a received
+// block, with an applier that verifies each transaction's observed
+// read/write set against the proposer's block profile, commits results in
+// block order, and accepts the block only if the recomputed state root
+// matches the header.
+//
+// Phases within one block:
+//
+//	preparation  — build conflict subgraphs from the profile, gas-LPT them
+//	               onto worker threads (internal/scheduler);
+//	tx execution — each thread executes its subgraphs' transactions in
+//	               block order on a private overlay chain, streaming per-tx
+//	               results to the applier;
+//	validation   — the applier reorders results into block order, checks
+//	               access sets and gas against the profile, aggregates the
+//	               write sets and fees;
+//	commitment   — the assembled post-state is committed and every header
+//	               commitment (gas, receipt root, state root) is checked.
+package validator
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"blockpilot/internal/chain"
+	"blockpilot/internal/scheduler"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// Validation errors.
+var (
+	ErrNoProfile       = errors.New("validator: block has no profile")
+	ErrProfileMismatch = errors.New("validator: execution diverged from block profile")
+	ErrBadBlock        = errors.New("validator: block invalid")
+)
+
+// Config controls the parallel validator.
+type Config struct {
+	Threads int
+	// AccountLevel selects conflict granularity for the dependency graph:
+	// true (default in the paper) treats any two touches of one account as
+	// a conflict; false uses storage-slot granularity (ablation).
+	AccountLevel bool
+	// Assign chooses the component→thread policy (default gas-LPT).
+	Assign func(components []scheduler.Component, threads int) *scheduler.Schedule
+	// Spawn runs one execution lane. Default spawns a goroutine; the
+	// multi-block pipeline injects its shared worker pool here so that free
+	// workers execute transactions "regardless of the block information"
+	// (paper §4.3).
+	Spawn func(f func())
+	// SkipProfileCheck disables the applier's per-transaction access-set and
+	// gas verification against the block profile. Only the no-profile
+	// speculative path sets this: there the profile is a local prediction
+	// used purely for scheduling, and the state root remains the sole
+	// acceptance criterion.
+	SkipProfileCheck bool
+}
+
+// DefaultConfig is the paper's configuration.
+func DefaultConfig(threads int) Config {
+	return Config{Threads: threads, AccountLevel: true, Assign: scheduler.AssignLPT}
+}
+
+// Result is a successfully validated block's outcome.
+type Result struct {
+	State    *state.Snapshot
+	Receipts []*types.Receipt
+	Stats    scheduler.Stats
+}
+
+// txResult is what a worker streams to the applier for one transaction.
+type txResult struct {
+	index   int
+	receipt *types.Receipt
+	fee     uint256.Int
+	profile *types.TxProfile
+	changes *state.ChangeSet
+	err     error
+}
+
+// ValidateParallel re-executes block against parent using the BlockPilot
+// validator and returns the committed post-state. Any divergence — invalid
+// transaction, access set or gas different from the profile, root mismatch —
+// rejects the block.
+func ValidateParallel(parent *state.Snapshot, parentHeader *types.Header, block *types.Block, cfg Config, params chain.Params) (*Result, error) {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Assign == nil {
+		cfg.Assign = scheduler.AssignLPT
+	}
+	if cfg.Spawn == nil {
+		cfg.Spawn = func(f func()) { go f() }
+	}
+	h := &block.Header
+	if h.ParentHash != parentHeader.Hash() {
+		return nil, fmt.Errorf("%w: parent hash mismatch", ErrBadBlock)
+	}
+	if h.Number != parentHeader.Number+1 {
+		return nil, fmt.Errorf("%w: height %d after %d", ErrBadBlock, h.Number, parentHeader.Number)
+	}
+	if block.Profile == nil {
+		return nil, ErrNoProfile
+	}
+	if len(block.Profile.Txs) != len(block.Txs) {
+		return nil, fmt.Errorf("%w: profile covers %d of %d txs", ErrProfileMismatch, len(block.Profile.Txs), len(block.Txs))
+	}
+	if got := types.ComputeTxRoot(block.Txs); got != h.TxRoot {
+		return nil, fmt.Errorf("%w: tx root mismatch", ErrBadBlock)
+	}
+
+	// Preparation phase.
+	components := scheduler.BuildComponents(block.Profile, cfg.AccountLevel)
+	sched := cfg.Assign(components, cfg.Threads)
+	stats := scheduler.ComputeStats(components)
+
+	// Tx execution phase: one goroutine per scheduled thread.
+	bc := chain.BlockContextFor(h, params.ChainID)
+	results := make(chan txResult, len(block.Txs))
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Threads; t++ {
+		txIdxs := sched.ThreadTxs[t]
+		if len(txIdxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		lane := txIdxs
+		cfg.Spawn(func() {
+			defer wg.Done()
+			accum := state.NewMemory(parent)
+			for _, i := range lane {
+				if failed.Load() {
+					return
+				}
+				overlay := state.NewOverlay(accum, types.Version(i))
+				receipt, fee, err := chain.ApplyTransaction(overlay, block.Txs[i], bc)
+				if err != nil {
+					failed.Store(true)
+					results <- txResult{index: i, err: fmt.Errorf("tx %d: %w", i, err)}
+					return
+				}
+				cs := overlay.ChangeSet()
+				accum.ApplyChangeSet(cs)
+				results <- txResult{
+					index:   i,
+					receipt: receipt,
+					fee:     *fee,
+					profile: types.ProfileFromAccessSet(overlay.Access(), receipt.GasUsed),
+					changes: cs,
+				}
+			}
+		})
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Block validation phase (the applier, Algorithm 2): reorder into block
+	// order, verify each access set against the profile, aggregate.
+	total := state.NewChangeSet()
+	receipts := make([]*types.Receipt, len(block.Txs))
+	var fees uint256.Int
+	var cumulative uint64
+	pending := make(map[int]txResult)
+	next := 0
+	var vErr error
+	for r := range results {
+		if r.err != nil && vErr == nil {
+			vErr = r.err
+			failed.Store(true)
+			continue
+		}
+		pending[r.index] = r
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if vErr == nil {
+				want := block.Profile.Txs[next]
+				switch {
+				case !cfg.SkipProfileCheck && !cur.profile.SameAccessKeys(want):
+					vErr = fmt.Errorf("%w: tx %d access set differs", ErrProfileMismatch, next)
+					failed.Store(true)
+				case !cfg.SkipProfileCheck && cur.profile.GasUsed != want.GasUsed:
+					vErr = fmt.Errorf("%w: tx %d used %d gas, profile says %d", ErrProfileMismatch, next, cur.profile.GasUsed, want.GasUsed)
+					failed.Store(true)
+				default:
+					cumulative += cur.receipt.GasUsed
+					cur.receipt.CumulativeGasUsed = cumulative
+					receipts[next] = cur.receipt
+					fees.Add(&fees, &cur.fee)
+					total.Merge(cur.changes)
+				}
+			}
+			next++
+		}
+	}
+	if vErr != nil {
+		return nil, vErr
+	}
+	if next != len(block.Txs) {
+		return nil, fmt.Errorf("%w: only %d of %d txs executed", ErrBadBlock, next, len(block.Txs))
+	}
+
+	// Block commitment phase.
+	if cumulative != h.GasUsed {
+		return nil, fmt.Errorf("%w: gas used %d != header %d", ErrBadBlock, cumulative, h.GasUsed)
+	}
+	if got := types.ComputeReceiptRoot(receipts); got != h.ReceiptRoot {
+		return nil, fmt.Errorf("%w: receipt root mismatch", ErrBadBlock)
+	}
+	if got := types.CreateBloom(receipts); got != h.LogsBloom {
+		return nil, fmt.Errorf("%w: logs bloom mismatch", ErrBadBlock)
+	}
+	accum := state.NewMemory(parent)
+	accum.ApplyChangeSet(total)
+	total.Merge(chain.FinalizationChange(accum, h.Coinbase, &fees, params))
+	postState := parent.Commit(total)
+	if got := postState.Root(); got != h.StateRoot {
+		return nil, fmt.Errorf("%w: state root %s != header %s", ErrBadBlock, got, h.StateRoot)
+	}
+	return &Result{State: postState, Receipts: receipts, Stats: stats}, nil
+}

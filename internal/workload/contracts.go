@@ -1,0 +1,152 @@
+// Package workload generates mainnet-like synthetic blocks: a mix of native
+// transfers, ERC-20-style token transfers and AMM swaps over Zipf-chosen
+// hotspot pairs, calibrated so the dependency-graph statistics (average
+// largest-subgraph ratio ≈ 27.5 % of a block, paper Fig. 8) match what the
+// paper measured on real Ethereum blocks.
+//
+// This is the documented substitution for the paper's replay of mainnet
+// blocks: BlockPilot's performance phenomena are functions of the block
+// conflict structure and of gas-proportional execution cost, both of which
+// the generator reproduces (see DESIGN.md §4).
+package workload
+
+import (
+	"blockpilot/internal/evm/asm"
+)
+
+// spinFragment burns calldata-word-2 (offset 0x40) loop iterations of cheap
+// arithmetic. It gives every contract call a tunable compute body so that
+// execution time is proportional to gas, the property the validator's
+// gas-weighted scheduler relies on. Enters and leaves with an empty stack.
+const spinFragment = `
+	PUSH1 0x40
+	CALLDATALOAD      ; spin count
+spin:
+	JUMPDEST
+	DUP1
+	ISZERO
+	PUSH @spin_done
+	JUMPI
+	PUSH1 1
+	SWAP1
+	SUB
+	DUP1
+	DUP1
+	MUL
+	POP
+	PUSH @spin
+	JUMP
+spin_done:
+	JUMPDEST
+	POP
+`
+
+// tokenSrc is an ERC-20-like token: balances[holder] lives at storage slot
+// == holder address word. Calldata: 0x00 recipient, 0x20 amount, 0x40 spin.
+// Reverts when the caller's balance is insufficient; emits a Transfer-style
+// LOG1 (topic = recipient, data = amount) on success.
+const tokenSrc = spinFragment + `
+	PUSH1 0x20
+	CALLDATALOAD      ; [amt]
+	CALLER
+	SLOAD             ; [balFrom amt]
+	DUP2
+	DUP2
+	LT                ; [balFrom<amt balFrom amt]
+	PUSH @revert
+	JUMPI             ; [balFrom amt]
+	DUP2
+	DUP2
+	SUB               ; [balFrom-amt balFrom amt]
+	CALLER
+	SSTORE            ; balances[caller] = balFrom-amt; [balFrom amt]
+	POP               ; [amt]
+	PUSH1 0x00
+	CALLDATALOAD      ; [to amt]
+	DUP1
+	SLOAD             ; [balTo to amt]
+	DUP3
+	ADD               ; [balTo+amt to amt]
+	SWAP1
+	SSTORE            ; balances[to] += amt; [amt]
+	PUSH1 0x00
+	MSTORE            ; mem[0:32] = amt; []
+	PUSH1 0x00
+	CALLDATALOAD      ; [to] — the event topic
+	PUSH1 0x20        ; [size to]
+	PUSH1 0x00        ; [offset size to]
+	LOG1              ; Transfer(to) with amount payload
+	STOP
+revert:
+	JUMPDEST
+	PUSH1 0
+	PUSH1 0
+	REVERT
+`
+
+// pairSrc is a constant-product AMM pair: reserves live at slots 0 and 1;
+// every swap reads and writes both, so all swaps on one pair conflict —
+// the hotspot pattern (Uniswap-style) the paper identifies.
+// Calldata: 0x00 direction (0/1), 0x20 amountIn, 0x40 spin.
+const pairSrc = spinFragment + `
+	PUSH1 0x00
+	CALLDATALOAD      ; [dir]
+	PUSH1 1
+	DUP2
+	XOR               ; [outSlot dir]
+	DUP2
+	SLOAD             ; [rIn outSlot dir]
+	DUP2
+	SLOAD             ; [rOut rIn outSlot dir]
+	DUP2
+	DUP2
+	MUL               ; [k rOut rIn outSlot dir]
+	PUSH1 0x20
+	CALLDATALOAD      ; [amtIn k rOut rIn outSlot dir]
+	DUP4
+	ADD               ; [newIn k rOut rIn outSlot dir]
+	DUP1
+	SWAP2             ; [k newIn newIn rOut rIn outSlot dir]
+	DIV               ; [newOut newIn rOut rIn outSlot dir]
+	DUP5
+	SSTORE            ; reserves[outSlot] = newOut; [newIn rOut rIn outSlot dir]
+	DUP5
+	SSTORE            ; reserves[dir] = newIn; [rOut rIn outSlot dir]
+	POP
+	POP
+	POP
+	POP
+	STOP
+`
+
+// mixerSrc is a per-sender counter: counters[caller]++ plus the compute
+// spin. Different senders never conflict — pure parallel work.
+// Calldata: 0x40 spin.
+const mixerSrc = spinFragment + `
+	CALLER
+	SLOAD             ; [count]
+	PUSH1 1
+	ADD               ; [count+1]
+	CALLER
+	SSTORE
+	STOP
+`
+
+// counterInitSrc is init code deploying a 9-byte counter runtime
+// (slot0++ per call) — the workload's contract-creation traffic.
+const counterInitSrc = `
+	PUSH32 0x6000546001016000550000000000000000000000000000000000000000000000
+	PUSH1 0
+	MSTORE
+	PUSH1 9
+	PUSH1 0
+	RETURN
+`
+
+// Compiled contract bytecode.
+var (
+	TokenCode       = asm.MustAssemble(tokenSrc)
+	PairCode        = asm.MustAssemble(pairSrc)
+	MixerCode       = asm.MustAssemble(mixerSrc)
+	CounterInitCode = asm.MustAssemble(counterInitSrc)
+)
