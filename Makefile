@@ -1,0 +1,32 @@
+# BlockPilot CI entry points. `make ci` is what the tier-1 gate runs:
+# vet + build + full test suite + race detector on the concurrency-heavy
+# packages (OCC-WSI core, pipeline, telemetry).
+
+GO ?= go
+
+.PHONY: all ci vet build test race bench telemetry-bench clean
+
+all: ci
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/pipeline/... ./internal/telemetry/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+telemetry-bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/telemetry/
+
+clean:
+	$(GO) clean ./...

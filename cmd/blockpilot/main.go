@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
@@ -26,6 +28,7 @@ import (
 	"blockpilot/internal/mempool"
 	"blockpilot/internal/network"
 	"blockpilot/internal/pipeline"
+	"blockpilot/internal/telemetry"
 	"blockpilot/internal/types"
 	"blockpilot/internal/validator"
 	"blockpilot/internal/workload"
@@ -49,7 +52,19 @@ func main() {
 	txs := flag.Int("txs", 132, "transactions per block")
 	seed := flag.Int64("seed", 1, "workload + consensus seed")
 	datadir := flag.String("datadir", "", "persist validator-0's blocks to this directory (optional)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /metrics.json, /trace, /report and /debug/pprof on this address (e.g. :9090)")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		srv, errc := telemetry.Serve(*telemetryAddr, nil)
+		defer srv.Close()
+		go func() {
+			if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "blockpilot: telemetry server:", err)
+			}
+		}()
+		fmt.Printf("telemetry: serving http://%s/metrics (+ /metrics.json, /trace, /report, /debug/pprof)\n", *telemetryAddr)
+	}
 
 	var store *blockdb.Store
 	if *datadir != "" {
@@ -219,6 +234,15 @@ func main() {
 
 	fmt.Printf("done: %d rounds, %d blocks proposed; every node converged on height %d\n",
 		*rounds, totalBlocks, nodes[0].chain.Height())
+	if *telemetryAddr != "" {
+		s := telemetry.TakeSnapshot()
+		fmt.Printf("telemetry: %.0f commits, %.0f aborts, %.0f reserve conflicts, %.0f blocks validated, %.0f rejected\n",
+			s.Counter("blockpilot_proposer_commits_total"),
+			s.Counter("blockpilot_proposer_aborts_total"),
+			s.Counter("blockpilot_proposer_reserve_conflicts_total"),
+			s.Counter("blockpilot_validator_blocks_total"),
+			s.Counter("blockpilot_validator_rejects_total"))
+	}
 	for _, n := range nodes {
 		if n.chain.Height() != nodes[0].chain.Height() {
 			fmt.Fprintf(os.Stderr, "node %s diverged: height %d\n", n.name, n.chain.Height())

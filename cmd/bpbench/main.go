@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	"blockpilot/internal/bench"
+	"blockpilot/internal/telemetry"
 )
 
 func main() {
@@ -32,7 +34,11 @@ func main() {
 	mode := flag.String("mode", "virtual", "timing mode: virtual|wall")
 	maxPipeline := flag.Int("max-pipeline-blocks", 8, "Fig. 9: max concurrent blocks")
 	seed := flag.Int64("seed", 1, "workload seed")
+	jsonOut := flag.Bool("json", false, "emit the end-of-run telemetry snapshot as JSON on stdout")
+	report := flag.Bool("telemetry-report", true, "print the telemetry report table after the run (text mode)")
 	flag.Parse()
+
+	telemetry.Enable()
 
 	o := bench.DefaultOptions()
 	o.Blocks = *blocks
@@ -106,6 +112,24 @@ func main() {
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q; want one of all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys", *exp))
+	}
+
+	// End-of-run telemetry: machine-readable snapshot (-json) so BENCH_*.json
+	// trajectories can carry abort-rate / phase-latency columns, or the
+	// human-readable report table.
+	snap := telemetry.TakeSnapshot()
+	if *jsonOut {
+		payload := struct {
+			Snapshot *telemetry.Snapshot `json:"snapshot"`
+			Derived  map[string]float64  `json:"derived"`
+		}{snap, telemetry.DerivedStats(snap)}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			fatal(err)
+		}
+	} else if *report {
+		fmt.Println(telemetry.ReportSnapshot(snap))
 	}
 }
 

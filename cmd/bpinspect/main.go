@@ -5,6 +5,13 @@
 //
 //	bpinspect -blocks 3 -threads 16
 //	bpinspect -swap-ratio 0.9 -pairs 1        # force a pathological hotspot
+//
+// The `telemetry` subcommand renders the metrics registry as a table —
+// either scraped from a running node's -telemetry-addr endpoint, or
+// collected from a short local proposer→pipeline run:
+//
+//	bpinspect telemetry -addr localhost:9090  # scrape a live node
+//	bpinspect telemetry -blocks 4 -threads 8  # local collection
 package main
 
 import (
@@ -22,6 +29,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "telemetry" {
+		telemetryMain(os.Args[2:])
+		return
+	}
 	blocks := flag.Int("blocks", 2, "blocks to inspect")
 	threads := flag.Int("threads", 16, "scheduler thread count")
 	txPerBlock := flag.Int("txs", 132, "transactions per block")

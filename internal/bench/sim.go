@@ -11,6 +11,7 @@ import (
 	"blockpilot/internal/mempool"
 	"blockpilot/internal/scheduler"
 	"blockpilot/internal/state"
+	"blockpilot/internal/telemetry"
 	"blockpilot/internal/types"
 	"blockpilot/internal/uint256"
 )
@@ -288,9 +289,12 @@ func simPropose(parent *state.Snapshot, parentHeader *types.Header, txs []*types
 			commitView = core.CoarsenAccessSet(commitView)
 		}
 		if _, ok := mv.TryCommit(commitView, ex.overlay.ChangeSet()); ok {
+			telemetry.ProposerCommits.Inc()
 			res.committed++
 			pool.Done(ex.tx)
 		} else {
+			telemetry.ProposerAborts.Inc()
+			telemetry.ProposerRetries.Inc()
 			res.aborts++
 			pool.Requeue(ex.tx)
 		}

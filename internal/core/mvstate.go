@@ -14,6 +14,7 @@ import (
 
 	"blockpilot/internal/crypto"
 	"blockpilot/internal/state"
+	"blockpilot/internal/telemetry"
 	"blockpilot/internal/types"
 	"blockpilot/internal/uint256"
 )
@@ -87,7 +88,10 @@ func (mv *MVState) TryCommit(access *types.AccessSet, cs *state.ChangeSet) (type
 	defer mv.mu.Unlock()
 	for key, readVersion := range access.Reads {
 		if mv.reserve[key] > readVersion {
-			return 0, false // stale read: abort back to the pool
+			// Stale read: the reserve-table check (the CAS of Alg. 1's
+			// DetectConflict) failed — abort back to the pool.
+			telemetry.ProposerReserveConflicts.Inc()
+			return 0, false
 		}
 	}
 	mv.version++

@@ -9,6 +9,7 @@ import (
 	"blockpilot/internal/chain"
 	"blockpilot/internal/mempool"
 	"blockpilot/internal/state"
+	"blockpilot/internal/telemetry"
 	"blockpilot/internal/types"
 	"blockpilot/internal/uint256"
 )
@@ -86,6 +87,8 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 		GasLimit:   params.GasLimit,
 		Time:       cfg.Time,
 	}
+	span := telemetry.StartSpan("proposer.propose", header.Number, telemetry.ProposerBlockSeconds)
+	defer span.End()
 	bc := chain.BlockContextFor(header, params.ChainID)
 	mv := NewMVState(parent)
 
@@ -113,6 +116,7 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 			}
 			inFlight.Add(1)
 			v := mv.Version()
+			telemetry.ProposerSnapshotBuilds.Inc()
 			overlay := state.NewOverlay(mv.View(v), v)
 			receipt, fee, err := chain.ApplyTransaction(overlay, tx, bc)
 			if err != nil {
@@ -125,6 +129,7 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 					// Nonce too low / unfunded: permanently invalid here.
 					pool.Done(tx)
 					dropped.Add(1)
+					telemetry.ProposerDrops.Inc()
 				}
 				inFlight.Add(-1)
 				continue
@@ -158,8 +163,10 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 			mu.Unlock()
 			if ok {
 				pool.Done(tx)
+				telemetry.ProposerCommits.Inc()
 			} else {
 				aborts.Add(1)
+				telemetry.ProposerAborts.Inc()
 				requeueOrDrop(pool, tx, &retries, cfg.MaxRetries, &dropped)
 			}
 			inFlight.Add(-1)
@@ -197,6 +204,7 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 	total.Merge(chain.FinalizationChange(accum, cfg.Coinbase, &fees, params))
 	postState := parent.Commit(total)
 
+	telemetry.ProposerBlockTxs.Observe(uint64(len(committed)))
 	header.GasUsed = gasUsed
 	header.StateRoot = postState.Root()
 	header.TxRoot = types.ComputeTxRoot(txs)
@@ -221,8 +229,10 @@ func requeueOrDrop(pool *mempool.Pool, tx *types.Transaction, retries *sync.Map,
 	if counter.(*atomic.Int64).Add(1) > int64(maxRetries) {
 		pool.Done(tx)
 		dropped.Add(1)
+		telemetry.ProposerDrops.Inc()
 		return
 	}
+	telemetry.ProposerRetries.Inc()
 	pool.Requeue(tx)
 }
 

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 
+	"blockpilot/internal/telemetry"
 	"blockpilot/internal/types"
 	"blockpilot/internal/uint256"
 )
@@ -76,6 +77,7 @@ func (p *Pool) Add(tx *types.Transaction) error {
 		return err
 	}
 	p.count++
+	telemetry.MempoolPending.Set(int64(p.count))
 	p.insert(tx)
 	return nil
 }
@@ -105,6 +107,7 @@ func (p *Pool) replaceIfPending(tx *types.Transaction) error {
 		it := &item{tx: tx}
 		heap.Push(&p.heap, it)
 		p.residents[s] = it
+		telemetry.MempoolReplacements.Inc()
 		return errReplaced
 	}
 	q := p.queues[s]
@@ -116,6 +119,7 @@ func (p *Pool) replaceIfPending(tx *types.Transaction) error {
 			return ErrReplaceUnderpriced
 		}
 		q[i] = tx
+		telemetry.MempoolReplacements.Inc()
 		return errReplaced
 	}
 	return nil
@@ -135,6 +139,7 @@ func (p *Pool) Requeue(tx *types.Transaction) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.count++
+	telemetry.MempoolPending.Set(int64(p.count))
 	p.decInFlight(tx.From)
 	p.insert(tx)
 	p.promote(tx.From)
@@ -226,6 +231,7 @@ func (p *Pool) Pop() *types.Transaction {
 	}
 	it := heap.Pop(&p.heap).(*item)
 	p.count--
+	telemetry.MempoolPending.Set(int64(p.count))
 	s := it.tx.From
 	delete(p.residents, s)
 	p.inFlight[s]++

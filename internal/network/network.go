@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"blockpilot/internal/telemetry"
 	"blockpilot/internal/types"
 )
 
@@ -89,7 +90,9 @@ func (n *Network) send(t *Node, msg Message) {
 	defer n.deliver.Done()
 	select {
 	case t.inbox <- msg:
+		telemetry.NetworkMessages.Inc()
 	default: // slow consumer: drop
+		telemetry.NetworkDropped.Inc()
 	}
 }
 

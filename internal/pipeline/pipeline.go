@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"blockpilot/internal/chain"
+	"blockpilot/internal/telemetry"
 	"blockpilot/internal/types"
 	"blockpilot/internal/validator"
 )
@@ -22,11 +23,16 @@ import (
 // ErrParentUnavailable fails blocks whose parent never validated.
 var ErrParentUnavailable = errors.New("pipeline: parent block never validated")
 
+// ErrPoolClosed reports a submission to a closed worker pool.
+var ErrPoolClosed = errors.New("pipeline: worker pool closed")
+
 // WorkerPool is the shared transaction-execution pool. Lanes (per-block
 // thread assignments) from every in-flight block queue here.
 type WorkerPool struct {
-	tasks chan func()
-	wg    sync.WaitGroup
+	mu     sync.RWMutex
+	closed bool
+	tasks  chan func()
+	wg     sync.WaitGroup
 }
 
 // NewWorkerPool starts n workers.
@@ -47,12 +53,44 @@ func NewWorkerPool(n int) *WorkerPool {
 	return p
 }
 
-// Submit enqueues one lane.
-func (p *WorkerPool) Submit(f func()) { p.tasks <- f }
+// Submit enqueues one lane. Submitting to a closed pool panics with
+// ErrPoolClosed — previously it either blocked forever (full queue) or
+// panicked with an opaque "send on closed channel". Callers that may race
+// with Close should use TrySubmit.
+func (p *WorkerPool) Submit(f func()) {
+	if !p.TrySubmit(f) {
+		panic(ErrPoolClosed)
+	}
+}
 
-// Close drains and stops the workers.
+// TrySubmit enqueues one lane, returning false if the pool is closed. It
+// may block while the queue is full (the workers drain it).
+func (p *WorkerPool) TrySubmit(f func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	p.tasks <- f
+	telemetry.PipelineQueueDepth.Set(int64(len(p.tasks)))
+	return true
+}
+
+// Depth returns the current task-queue depth (pending, unstarted lanes).
+func (p *WorkerPool) Depth() int { return len(p.tasks) }
+
+// Close drains and stops the workers. Further Submit calls panic with
+// ErrPoolClosed; further TrySubmit calls return false.
 func (p *WorkerPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
 	close(p.tasks)
+	p.mu.Unlock()
 	p.wg.Wait()
 }
 
@@ -122,9 +160,11 @@ func (p *Pipeline) Submit(block *types.Block) {
 	defer p.mu.Unlock()
 	if p.chain.StateOf(block.Header.ParentHash) == nil {
 		p.waiting[block.Header.ParentHash] = append(p.waiting[block.Header.ParentHash], pb)
+		telemetry.PipelineWaiting.Add(1)
 		return
 	}
 	p.running++
+	telemetry.PipelineInflight.Add(1)
 	go p.run(pb)
 }
 
@@ -141,6 +181,7 @@ func (p *Pipeline) run(pb *pendingBlock) {
 			out.Err = insErr
 		}
 	}
+	telemetry.PipelineBlockSeconds.ObserveDuration(out.Elapsed)
 	p.results <- out
 
 	p.mu.Lock()
@@ -149,6 +190,8 @@ func (p *Pipeline) run(pb *pendingBlock) {
 		children := p.waiting[block.Hash()]
 		delete(p.waiting, block.Hash())
 		p.running += len(children)
+		telemetry.PipelineWaiting.Add(-int64(len(children)))
+		telemetry.PipelineInflight.Add(int64(len(children)))
 		for _, c := range children {
 			go p.run(c)
 		}
@@ -157,6 +200,7 @@ func (p *Pipeline) run(pb *pendingBlock) {
 		_ = p.failSubtreeLocked(block.Hash(), out.Err)
 	}
 	p.running--
+	telemetry.PipelineInflight.Add(-1)
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -166,6 +210,7 @@ func (p *Pipeline) run(pb *pendingBlock) {
 func (p *Pipeline) failSubtreeLocked(parent types.Hash, cause error) int {
 	children := p.waiting[parent]
 	delete(p.waiting, parent)
+	telemetry.PipelineWaiting.Add(-int64(len(children)))
 	n := len(children)
 	for _, c := range children {
 		p.results <- Outcome{Block: c.block, Err: cause, Elapsed: time.Since(c.arrived)}

@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"testing"
+
+	"blockpilot/internal/telemetry"
+	"blockpilot/internal/validator"
+)
+
+// TestEndToEndTelemetry drives the full propose → pipeline path with
+// instrumentation enabled and checks that every layer's hot-path metrics
+// actually fired: proposer commit counters, validator subgraph and
+// LPT stats, and the four pipeline phase histograms.
+func TestEndToEndTelemetry(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	before := telemetry.TakeSnapshot()
+
+	c, heights := buildChain(t, 3, 0)
+	p := New(c, validator.DefaultConfig(4), nil)
+	for _, level := range heights {
+		p.Submit(level[0])
+	}
+	p.Close()
+	for out := range p.Results() {
+		if out.Err != nil {
+			t.Fatalf("block %d: %v", out.Block.Number(), out.Err)
+		}
+	}
+
+	after := telemetry.TakeSnapshot()
+	counterGrew := func(name string, atLeast float64) {
+		t.Helper()
+		if d := after.Counter(name) - before.Counter(name); d < atLeast {
+			t.Errorf("%s grew by %.0f, want ≥ %.0f", name, d, atLeast)
+		}
+	}
+	counterGrew("blockpilot_proposer_commits_total", 3*60) // 3 blocks × 60 txs
+	counterGrew("blockpilot_proposer_snapshot_builds_total", 3*60)
+	counterGrew("blockpilot_validator_blocks_total", 3)
+	histGrew := func(name string, atLeast uint64) {
+		t.Helper()
+		var prev uint64
+		if h := before.Histogram(name); h != nil {
+			prev = h.Count
+		}
+		h := after.Histogram(name)
+		if h == nil || h.Count-prev < atLeast {
+			t.Errorf("histogram %s did not record ≥ %d new observations", name, atLeast)
+		}
+	}
+	histGrew("blockpilot_proposer_block_duration_ns", 3)
+	histGrew("blockpilot_pipeline_prepare_duration_ns", 3)
+	histGrew("blockpilot_pipeline_execute_duration_ns", 3)
+	histGrew("blockpilot_pipeline_validate_duration_ns", 3)
+	histGrew("blockpilot_pipeline_commit_duration_ns", 3)
+	histGrew("blockpilot_pipeline_block_duration_ns", 3)
+	histGrew("blockpilot_validator_subgraphs", 3)
+	histGrew("blockpilot_validator_graph_build_duration_ns", 3)
+	if imb := after.Gauge("blockpilot_validator_lpt_imbalance"); imb < 1 {
+		t.Errorf("LPT imbalance gauge = %f, want ≥ 1 (max/mean)", imb)
+	}
+	// Gauges settle back to idle after Close.
+	if v := after.Gauge("blockpilot_pipeline_blocks_inflight"); v != 0 {
+		t.Errorf("inflight gauge = %f after Close, want 0", v)
+	}
+	// Phase spans landed in the trace ring with height labels.
+	found := false
+	for _, ev := range telemetry.Default().Tracer().Events() {
+		if ev.Name == "pipeline.commit" && ev.Height >= 1 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no pipeline.commit span with a height label in the trace ring")
+	}
+}

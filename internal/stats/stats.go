@@ -69,11 +69,14 @@ func Percentile(sorted []float64, p float64) float64 {
 }
 
 // Histogram counts samples into [edges[i], edges[i+1]) buckets, with an
-// overflow bucket above the last edge.
+// overflow bucket above the last edge and an explicit underflow bucket for
+// samples below the first edge (previously those were silently folded into
+// bucket 0, skewing the first bucket's count).
 type Histogram struct {
-	edges  []float64
-	counts []int
-	total  int
+	edges     []float64
+	counts    []int
+	underflow int
+	total     int
 }
 
 // NewHistogram builds a histogram over ascending bucket edges.
@@ -82,20 +85,30 @@ func NewHistogram(edges ...float64) *Histogram {
 }
 
 // Add places one sample.
-func (h *Histogram) Add(v float64) {
-	h.total++
+func (h *Histogram) Add(v float64) { h.AddN(v, 1) }
+
+// AddN places n identical samples (n ≤ 0 is a no-op). Pre-aggregated
+// sources — the telemetry registry's bucketed histograms — feed rendered
+// distributions through this without per-sample loops.
+func (h *Histogram) AddN(v float64, n int) {
+	if n <= 0 {
+		return
+	}
+	h.total += n
 	for i := len(h.edges) - 1; i >= 0; i-- {
 		if v >= h.edges[i] {
-			h.counts[i]++
+			h.counts[i] += n
 			return
 		}
 	}
-	// Below the first edge: count into bucket 0 anyway.
-	h.counts[0]++
+	h.underflow += n
 }
 
-// Total returns the number of samples.
+// Total returns the number of samples, underflow included.
 func (h *Histogram) Total() int { return h.total }
+
+// Underflow returns the number of samples below the first edge.
+func (h *Histogram) Underflow() int { return h.underflow }
 
 // Fraction returns the share of samples in bucket i.
 func (h *Histogram) Fraction(i int) float64 {
@@ -105,7 +118,8 @@ func (h *Histogram) Fraction(i int) float64 {
 	return float64(h.counts[i]) / float64(h.total)
 }
 
-// Render draws the histogram as aligned text rows with unit bars.
+// Render draws the histogram as aligned text rows with unit bars. The
+// underflow bucket renders first, and only when it holds samples.
 func (h *Histogram) Render(label string, format func(edge float64) string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s (n=%d)\n", label, h.total)
@@ -114,6 +128,15 @@ func (h *Histogram) Render(label string, format func(edge float64) string) strin
 		if c > maxCount {
 			maxCount = c
 		}
+	}
+	if h.underflow > maxCount {
+		maxCount = h.underflow
+	}
+	if h.underflow > 0 && len(h.edges) > 0 {
+		bar := strings.Repeat("█", h.underflow*40/maxCount)
+		fmt.Fprintf(&b, "  [%6s, %6s) %5d (%5.1f%%) %s\n",
+			"-inf", format(h.edges[0]), h.underflow,
+			100*float64(h.underflow)/float64(h.total), bar)
 	}
 	for i, edge := range h.edges {
 		bar := strings.Repeat("█", h.counts[i]*40/maxCount)

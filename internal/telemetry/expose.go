@@ -1,0 +1,124 @@
+// HTTP exposition: Prometheus text format, JSON snapshots, the trace ring,
+// and net/http/pprof — everything cmd/blockpilot mounts behind
+// -telemetry-addr.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PrometheusText renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Histograms render cumulatively with `le` labels,
+// as Prometheus expects.
+func (s *Snapshot) PrometheusText() string {
+	var b strings.Builder
+	writeNum := func(kind string, list []NumberSnapshot) {
+		for _, n := range list {
+			if n.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", n.Name, n.Help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", n.Name, kind)
+			fmt.Fprintf(&b, "%s %s\n", n.Name, formatValue(n.Value))
+		}
+	}
+	writeNum("counter", s.Counters)
+	writeNum("gauge", s.Gauges)
+	for _, h := range s.Histograms {
+		if h.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", h.Name, h.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", h.Name)
+		var cum uint64
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", h.Name, bk.UpperBound, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", h.Name, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+	}
+	return b.String()
+}
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics              Prometheus text (or JSON with ?format=json)
+//	/metrics.json         JSON snapshot (indented)
+//	/trace                buffered trace events as JSON
+//	/debug/pprof/...      the standard runtime profiles
+//	/                     a plain-text index
+func Handler(r *Registry) http.Handler {
+	if r == nil {
+		r = defaultRegistry
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			serveJSON(w, r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Snapshot().PrometheusText()))
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		serveJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		serveJSON(w, r.Tracer().Events())
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(ReportSnapshot(r.Snapshot())))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "blockpilot telemetry endpoints:")
+		for _, p := range []string{"/metrics", "/metrics.json", "/trace", "/report", "/debug/pprof/"} {
+			fmt.Fprintln(w, "  "+p)
+		}
+	})
+	return mux
+}
+
+func serveJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Serve starts the exposition server on addr in a background goroutine and
+// enables telemetry. The returned server can be Closed by the caller; the
+// error channel receives the terminal ListenAndServe error.
+func Serve(addr string, r *Registry) (*http.Server, <-chan error) {
+	Enable()
+	srv := &http.Server{Addr: addr, Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	return srv, errc
+}
+
+// sortedKeys is a tiny helper for deterministic map rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,120 @@
+// Central metric definitions for the BlockPilot hot paths. Every
+// instrumented package references these vars; docs/OBSERVABILITY.md is the
+// authoritative catalogue and must stay in sync with this file.
+package telemetry
+
+// Proposer (OCC-WSI engine, internal/core).
+var (
+	ProposerCommits = NewCounter("blockpilot_proposer_commits_total",
+		"Transactions committed through the reserve-table validation (Alg. 1).")
+	ProposerAborts = NewCounter("blockpilot_proposer_aborts_total",
+		"WSI conflict aborts: commit attempts rejected by a stale read.")
+	ProposerRetries = NewCounter("blockpilot_proposer_retries_total",
+		"Aborted or nonce-blocked transactions requeued into the pending pool.")
+	ProposerDrops = NewCounter("blockpilot_proposer_drops_total",
+		"Transactions abandoned for good (invalid, unfunded, or retry cap).")
+	ProposerReserveConflicts = NewCounter("blockpilot_proposer_reserve_conflicts_total",
+		"Reserve-table CAS failures inside MVState.TryCommit (stale-read detections).")
+	ProposerSnapshotBuilds = NewCounter("blockpilot_proposer_snapshot_builds_total",
+		"Versioned MVState snapshot views built for speculative execution.")
+	ProposerBlockSeconds = NewHistogram("blockpilot_proposer_block_duration_ns",
+		"Wall time of one Propose call (block packing).", "ns")
+	ProposerBlockTxs = NewHistogram("blockpilot_proposer_block_txs",
+		"Transactions packed per proposed block.", "")
+)
+
+// Validator (dependency-graph re-execution, internal/validator).
+var (
+	ValidatorBlocks = NewCounter("blockpilot_validator_blocks_total",
+		"Blocks accepted by ValidateParallel.")
+	ValidatorRejects = NewCounter("blockpilot_validator_rejects_total",
+		"Blocks rejected by ValidateParallel (any cause).")
+	ValidatorVerifyFailures = NewCounter("blockpilot_validator_verify_failures_total",
+		"Applier profile-verification failures (access-set or gas divergence).")
+	ValidatorGraphBuildSeconds = NewHistogram("blockpilot_validator_graph_build_duration_ns",
+		"Preparation phase: dependency-graph build + LPT assignment time.", "ns")
+	ValidatorSubgraphs = NewHistogram("blockpilot_validator_subgraphs",
+		"Dependency subgraph (connected component) count per block.", "")
+	ValidatorSubgraphTxs = NewHistogram("blockpilot_validator_subgraph_txs",
+		"Size distribution of dependency subgraphs (transactions each).", "")
+	ValidatorLPTImbalance = NewFloatGauge("blockpilot_validator_lpt_imbalance",
+		"Last block's LPT schedule imbalance: max per-worker assigned gas / mean.")
+	ValidatorBlockSeconds = NewHistogram("blockpilot_validator_block_duration_ns",
+		"Wall time of one ValidateParallel call.", "ns")
+)
+
+// Pipeline (multi-block validator workflow, internal/pipeline). The four
+// paper phases are measured inside ValidateParallel; execution and
+// validation overlap by design (the applier consumes streamed results), so
+// their durations cover overlapping wall-clock windows.
+var (
+	PipelinePrepareSeconds = NewHistogram("blockpilot_pipeline_prepare_duration_ns",
+		"Phase 1 (preparation): profile → subgraphs → thread schedule.", "ns")
+	PipelineExecuteSeconds = NewHistogram("blockpilot_pipeline_execute_duration_ns",
+		"Phase 2 (transaction execution): first spawn → last lane finished.", "ns")
+	PipelineValidateSeconds = NewHistogram("blockpilot_pipeline_validate_duration_ns",
+		"Phase 3 (block validation): applier reorder/verify/aggregate loop.", "ns")
+	PipelineCommitSeconds = NewHistogram("blockpilot_pipeline_commit_duration_ns",
+		"Phase 4 (block commitment): root checks + state commit.", "ns")
+	PipelineBlockSeconds = NewHistogram("blockpilot_pipeline_block_duration_ns",
+		"Pipeline residency per block: submission → commitment outcome.", "ns")
+	PipelineInflight = NewGauge("blockpilot_pipeline_blocks_inflight",
+		"Blocks currently validating across all pipeline instances.")
+	PipelineWaiting = NewGauge("blockpilot_pipeline_blocks_waiting",
+		"Blocks parked behind a parent that has not validated yet.")
+	PipelineQueueDepth = NewGauge("blockpilot_pipeline_queue_depth",
+		"Shared worker-pool task queue depth (most recent observation).")
+)
+
+// Mempool and network fabric.
+var (
+	MempoolPending = NewGauge("blockpilot_mempool_pending",
+		"Pending transactions in the most recently touched pool.")
+	MempoolReplacements = NewCounter("blockpilot_mempool_replacements_total",
+		"Same-(sender,nonce) transactions replaced by a price-bumped arrival.")
+	NetworkMessages = NewCounter("blockpilot_network_messages_total",
+		"Broadcast messages delivered to node inboxes.")
+	NetworkDropped = NewCounter("blockpilot_network_dropped_total",
+		"Broadcast messages dropped at a full (slow-consumer) inbox.")
+)
+
+// DerivedStats computes the evaluation-facing rates the paper reports from
+// a snapshot: abort rate, drop rate, reject rate, and per-phase latency
+// quantiles in milliseconds. Used by `bpbench -json` so BENCH trajectories
+// can carry abort-rate / phase-latency columns directly.
+func DerivedStats(s *Snapshot) map[string]float64 {
+	d := make(map[string]float64)
+	commits := s.Counter("blockpilot_proposer_commits_total")
+	aborts := s.Counter("blockpilot_proposer_aborts_total")
+	if attempts := commits + aborts; attempts > 0 {
+		d["proposer_abort_rate"] = aborts / attempts
+	}
+	if popped := commits + s.Counter("blockpilot_proposer_drops_total"); popped > 0 {
+		d["proposer_drop_rate"] = s.Counter("blockpilot_proposer_drops_total") / popped
+	}
+	accepted := s.Counter("blockpilot_validator_blocks_total")
+	rejected := s.Counter("blockpilot_validator_rejects_total")
+	if total := accepted + rejected; total > 0 {
+		d["validator_reject_rate"] = rejected / total
+	}
+	d["validator_lpt_imbalance"] = s.Gauge("blockpilot_validator_lpt_imbalance")
+	const ms = 1e6 // ns → ms
+	for _, name := range []string{
+		"blockpilot_pipeline_prepare_duration_ns",
+		"blockpilot_pipeline_execute_duration_ns",
+		"blockpilot_pipeline_validate_duration_ns",
+		"blockpilot_pipeline_commit_duration_ns",
+		"blockpilot_pipeline_block_duration_ns",
+		"blockpilot_proposer_block_duration_ns",
+	} {
+		h := s.Histogram(name)
+		if h == nil || h.Count == 0 {
+			continue
+		}
+		key := name[len("blockpilot_") : len(name)-len("_duration_ns")]
+		d[key+"_p50_ms"] = h.P50 / ms
+		d[key+"_p90_ms"] = h.P90 / ms
+		d[key+"_mean_ms"] = h.Mean() / ms
+	}
+	return d
+}

@@ -1,0 +1,188 @@
+// Span tracing: begin/end phase spans carrying a block-height label, with
+// completed spans recorded both into a latency histogram and into a fixed
+// ring buffer of trace events for post-hoc inspection.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity bounds the ring buffer (events, not bytes).
+const DefaultTraceCapacity = 4096
+
+// TraceEvent is one completed span.
+type TraceEvent struct {
+	Name   string        `json:"name"`
+	Height uint64        `json:"height"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+}
+
+// Tracer is a fixed-capacity ring of completed spans. Recording takes a
+// mutex — spans only record while telemetry is enabled, so the disabled
+// path never touches it.
+type Tracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	next   int
+	filled bool
+	seq    uint64
+}
+
+// NewTracer builds a ring holding up to capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{events: make([]TraceEvent, capacity)}
+}
+
+// Record appends one completed span, overwriting the oldest when full.
+func (t *Tracer) Record(ev TraceEvent) {
+	t.mu.Lock()
+	t.events[t.next] = ev
+	t.next++
+	t.seq++
+	if t.next == len(t.events) {
+		t.next = 0
+		t.filled = true
+	}
+	t.mu.Unlock()
+}
+
+// Len returns how many events are currently buffered.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.filled {
+		return len(t.events)
+	}
+	return t.next
+}
+
+// Total returns how many events were ever recorded (including overwritten).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Events returns the buffered spans oldest-first.
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.filled {
+		return append([]TraceEvent(nil), t.events[:t.next]...)
+	}
+	out := make([]TraceEvent, 0, len(t.events))
+	out = append(out, t.events[t.next:]...)
+	out = append(out, t.events[:t.next]...)
+	return out
+}
+
+// Reset drops all buffered events.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.next, t.filled, t.seq = 0, false, 0
+	t.mu.Unlock()
+}
+
+// Render draws the buffered spans as an aligned text table, newest last,
+// capped at limit rows (0 = all).
+func (t *Tracer) Render(limit int) string {
+	evs := t.Events()
+	if limit > 0 && len(evs) > limit {
+		evs = evs[len(evs)-limit:]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace ring: %d/%d events buffered (%d recorded)\n", t.Len(), cap(t.events), t.Total())
+	for _, ev := range evs {
+		fmt.Fprintf(&b, "  %-32s height=%-6d %12v  @%s\n",
+			ev.Name, ev.Height, ev.Dur.Round(time.Microsecond), ev.Start.Format("15:04:05.000"))
+	}
+	return b.String()
+}
+
+// Span is an in-flight phase measurement. The zero Span (telemetry
+// disabled) makes End a no-op. Spans are value types: starting and ending
+// one allocates nothing.
+type Span struct {
+	start  time.Time
+	hist   *Histogram
+	tracer *Tracer
+	name   string
+	height uint64
+}
+
+// StartSpan begins a phase span against the default registry's tracer.
+// hist (optional) additionally receives the span duration in nanoseconds.
+// Returns the zero Span — End is a no-op — while telemetry is disabled.
+func StartSpan(name string, height uint64, hist *Histogram) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	return Span{start: time.Now(), hist: hist, tracer: defaultRegistry.tracer, name: name, height: height}
+}
+
+// StartSpan begins a span recorded into r's tracer.
+func (r *Registry) StartSpan(name string, height uint64, hist *Histogram) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	return Span{start: time.Now(), hist: hist, tracer: r.tracer, name: name, height: height}
+}
+
+// End completes the span: the duration lands in the attached histogram and
+// the trace ring. Safe on the zero Span.
+func (s Span) End() time.Duration {
+	if s.tracer == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.hist != nil {
+		s.hist.ObserveDuration(d)
+	}
+	s.tracer.Record(TraceEvent{Name: s.name, Height: s.height, Start: s.start, Dur: d})
+	return d
+}
+
+// SpanSummary aggregates the ring's events per span name — a quick
+// phase-latency table independent of the histograms.
+type SpanSummary struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Summarize groups buffered events by name, sorted by total time descending.
+func (t *Tracer) Summarize() []SpanSummary {
+	byName := make(map[string]*SpanSummary)
+	for _, ev := range t.Events() {
+		s := byName[ev.Name]
+		if s == nil {
+			s = &SpanSummary{Name: ev.Name}
+			byName[ev.Name] = s
+		}
+		s.Count++
+		s.Total += ev.Dur
+		if ev.Dur > s.Max {
+			s.Max = ev.Dur
+		}
+	}
+	out := make([]SpanSummary, 0, len(byName))
+	for _, s := range byName {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

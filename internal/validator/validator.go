@@ -28,6 +28,7 @@ import (
 	"blockpilot/internal/chain"
 	"blockpilot/internal/scheduler"
 	"blockpilot/internal/state"
+	"blockpilot/internal/telemetry"
 	"blockpilot/internal/types"
 	"blockpilot/internal/uint256"
 )
@@ -88,6 +89,19 @@ type txResult struct {
 // transaction, access set or gas different from the profile, root mismatch —
 // rejects the block.
 func ValidateParallel(parent *state.Snapshot, parentHeader *types.Header, block *types.Block, cfg Config, params chain.Params) (*Result, error) {
+	span := telemetry.StartSpan("validator.block", block.Header.Number, telemetry.ValidatorBlockSeconds)
+	res, err := validateParallel(parent, parentHeader, block, cfg, params)
+	span.End()
+	if err != nil {
+		telemetry.ValidatorRejects.Inc()
+	} else {
+		telemetry.ValidatorBlocks.Inc()
+	}
+	return res, err
+}
+
+// validateParallel is ValidateParallel without the outer accounting span.
+func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block *types.Block, cfg Config, params chain.Params) (*Result, error) {
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}
@@ -115,11 +129,33 @@ func ValidateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 	}
 
 	// Preparation phase.
+	prepSpan := telemetry.StartSpan("pipeline.prepare", h.Number, telemetry.PipelinePrepareSeconds)
+	graphSpan := telemetry.StartSpan("validator.graph_build", h.Number, telemetry.ValidatorGraphBuildSeconds)
 	components := scheduler.BuildComponents(block.Profile, cfg.AccountLevel)
+	graphSpan.End()
 	sched := cfg.Assign(components, cfg.Threads)
 	stats := scheduler.ComputeStats(components)
+	prepSpan.End()
+	if telemetry.Enabled() {
+		telemetry.ValidatorSubgraphs.Observe(uint64(stats.ComponentCount))
+		for i := range components {
+			telemetry.ValidatorSubgraphTxs.Observe(uint64(len(components[i].TxIndices)))
+		}
+		// LPT load imbalance: max per-worker assigned gas over the mean.
+		var maxGas, totalGas uint64
+		for _, g := range sched.ThreadGas {
+			totalGas += g
+			if g > maxGas {
+				maxGas = g
+			}
+		}
+		if mean := float64(totalGas) / float64(len(sched.ThreadGas)); mean > 0 {
+			telemetry.ValidatorLPTImbalance.Set(float64(maxGas) / mean)
+		}
+	}
 
 	// Tx execution phase: one goroutine per scheduled thread.
+	execSpan := telemetry.StartSpan("pipeline.execute", h.Number, telemetry.PipelineExecuteSeconds)
 	bc := chain.BlockContextFor(h, params.ChainID)
 	results := make(chan txResult, len(block.Txs))
 	var failed atomic.Bool
@@ -159,11 +195,15 @@ func ValidateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 	}
 	go func() {
 		wg.Wait()
+		execSpan.End()
 		close(results)
 	}()
 
 	// Block validation phase (the applier, Algorithm 2): reorder into block
-	// order, verify each access set against the profile, aggregate.
+	// order, verify each access set against the profile, aggregate. Note the
+	// validate span overlaps the execute span: the applier consumes results
+	// as the lanes stream them (paper Fig. 4).
+	valSpan := telemetry.StartSpan("pipeline.validate", h.Number, telemetry.PipelineValidateSeconds)
 	total := state.NewChangeSet()
 	receipts := make([]*types.Receipt, len(block.Txs))
 	var fees uint256.Int
@@ -190,9 +230,11 @@ func ValidateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 				case !cfg.SkipProfileCheck && !cur.profile.SameAccessKeys(want):
 					vErr = fmt.Errorf("%w: tx %d access set differs", ErrProfileMismatch, next)
 					failed.Store(true)
+					telemetry.ValidatorVerifyFailures.Inc()
 				case !cfg.SkipProfileCheck && cur.profile.GasUsed != want.GasUsed:
 					vErr = fmt.Errorf("%w: tx %d used %d gas, profile says %d", ErrProfileMismatch, next, cur.profile.GasUsed, want.GasUsed)
 					failed.Store(true)
+					telemetry.ValidatorVerifyFailures.Inc()
 				default:
 					cumulative += cur.receipt.GasUsed
 					cur.receipt.CumulativeGasUsed = cumulative
@@ -204,6 +246,7 @@ func ValidateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 			next++
 		}
 	}
+	valSpan.End()
 	if vErr != nil {
 		return nil, vErr
 	}
@@ -212,6 +255,8 @@ func ValidateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 	}
 
 	// Block commitment phase.
+	commitSpan := telemetry.StartSpan("pipeline.commit", h.Number, telemetry.PipelineCommitSeconds)
+	defer commitSpan.End()
 	if cumulative != h.GasUsed {
 		return nil, fmt.Errorf("%w: gas used %d != header %d", ErrBadBlock, cumulative, h.GasUsed)
 	}
