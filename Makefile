@@ -1,14 +1,20 @@
 # BlockPilot CI entry points. `make ci` is what the tier-1 gate runs:
 # vet + build + full test suite + race detector on the concurrency-heavy
-# packages (OCC-WSI core, pipeline, telemetry).
+# packages (OCC-WSI core, mempool, pipeline, telemetry) + a short-mode
+# smoke of the contention benchmark suite.
+#
+# `make bench` records the performance baseline: the contention suite
+# (striped vs single-lock MVState, mempool batching, end-to-end Propose)
+# written to BENCH_proposer.json, plus the Go micro-benchmarks with
+# -benchmem. See docs/PERFORMANCE.md for methodology.
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench telemetry-bench clean
+.PHONY: all ci vet build test race bench-smoke bench bench-go telemetry-bench clean
 
 all: ci
 
-ci: vet build test race
+ci: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,10 +26,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/pipeline/... ./internal/telemetry/...
+	$(GO) test -race ./internal/core/... ./internal/mempool/... ./internal/pipeline/... ./internal/telemetry/...
 
-bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+# Short-mode pass over the contention suite: every code path, seconds of
+# runtime, no artifact written.
+bench-smoke:
+	$(GO) test -short -run TestContentionSmoke ./internal/bench/
+
+# Full baseline: contention suite -> BENCH_proposer.json, then the Go
+# micro-benchmarks (allocation counts via -benchmem).
+bench: bench-go
+	$(GO) run ./cmd/bpbench -exp contention -telemetry-report=false -bench-out BENCH_proposer.json
+
+bench-go:
+	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/bench/ ./internal/scheduler/ ./internal/mempool/
 
 telemetry-bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/telemetry/

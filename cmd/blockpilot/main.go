@@ -48,6 +48,8 @@ func main() {
 	proposers := flag.Int("proposers", 3, "proposer nodes")
 	validators := flag.Int("validators", 2, "validator-only nodes")
 	threads := flag.Int("threads", 8, "execution threads per node")
+	stripes := flag.Int("stripes", 0, "proposer MVState lock stripes (0 = default, 1 = single-lock ablation)")
+	popBatch := flag.Int("pop-batch", 0, "transactions claimed from the mempool per worker trip (0 = default)")
 	forkProb := flag.Float64("fork-prob", 0.35, "per-round fork probability")
 	txs := flag.Int("txs", 132, "transactions per block")
 	seed := flag.Int64("seed", 1, "workload + consensus seed")
@@ -179,6 +181,8 @@ func main() {
 				Threads:  *threads,
 				Coinbase: coinbase,
 				Time:     uint64(r + 1),
+				Stripes:  *stripes,
+				PopBatch: *popBatch,
 			}, params)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "propose: %v\n", err)

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys")
+	exp := flag.String("exp", "all", "experiment: all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention")
 	blocks := flag.Int("blocks", 20, "blocks per experiment")
 	repeats := flag.Int("repeats", 3, "timing repeats per point")
 	mode := flag.String("mode", "virtual", "timing mode: virtual|wall")
@@ -36,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	jsonOut := flag.Bool("json", false, "emit the end-of-run telemetry snapshot as JSON on stdout")
 	report := flag.Bool("telemetry-report", true, "print the telemetry report table after the run (text mode)")
+	benchOut := flag.String("bench-out", "", "contention: also write the result as JSON to this file (e.g. BENCH_proposer.json)")
+	quick := flag.Bool("quick", false, "contention: use the reduced CI-smoke workload")
 	flag.Parse()
 
 	telemetry.Enable()
@@ -110,8 +112,26 @@ func main() {
 		fatalIf(err)
 		fmt.Println(res.Render())
 	}
+	// The contention suite measures real wall-clock lock behavior, so it is
+	// deliberately excluded from "all" (which defaults to the single-core
+	// safe virtual mode); run it explicitly with -exp contention.
+	if *exp == "contention" {
+		ran = true
+		co := bench.DefaultContentionOptions()
+		if *quick {
+			co = bench.QuickContentionOptions()
+		}
+		co.Seed = *seed
+		res, err := bench.RunContention(co)
+		fatalIf(err)
+		fmt.Println(res.Render())
+		if *benchOut != "" {
+			fatalIf(res.WriteJSON(*benchOut))
+			fmt.Printf("wrote %s\n", *benchOut)
+		}
+	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q; want one of all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys", *exp))
+		fatal(fmt.Errorf("unknown experiment %q; want one of all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention", *exp))
 	}
 
 	// End-of-run telemetry: machine-readable snapshot (-json) so BENCH_*.json

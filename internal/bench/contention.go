@@ -1,0 +1,426 @@
+// Contention benchmark suite (the repo's first recorded perf baseline):
+// measures the proposer's shared-state hot path — striped MVState commits,
+// mempool claim/settle traffic, and end-to-end Propose — across thread
+// counts, on a uniform workload (disjoint hot keys) and a Zipfian
+// hot-account workload, with the single-lock MVState (stripes = 1) as the
+// pre-striping baseline. `make bench` runs this via
+// `bpbench -exp contention -bench-out BENCH_proposer.json` so every future
+// PR has a trajectory to compare against.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockpilot/internal/chain"
+	"blockpilot/internal/core"
+	"blockpilot/internal/mempool"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+	"blockpilot/internal/workload"
+)
+
+// ContentionOptions sizes the contention suite.
+type ContentionOptions struct {
+	Threads       []int // worker sweep (e.g. 1..16)
+	OpsPerThread  int   // MVState commits attempted per worker
+	Accounts      int   // uniform-workload key population
+	HotAccounts   int   // Zipfian-workload key population
+	ZipfS         float64
+	StripeConfigs []int // MVState stripe counts to compare (1 = single lock)
+	MempoolTxs    int   // transactions cycled through the pool benchmark
+	PopBatches    []int // mempool claim sizes to compare (1 = pre-batching)
+	ProposeBlocks int   // end-to-end Propose repeats per config (0 = skip)
+	Seed          int64
+}
+
+// DefaultContentionOptions is the `make bench` configuration.
+func DefaultContentionOptions() ContentionOptions {
+	return ContentionOptions{
+		Threads:       []int{1, 2, 4, 8, 16},
+		OpsPerThread:  20000,
+		Accounts:      8192,
+		HotAccounts:   64,
+		ZipfS:         1.2,
+		StripeConfigs: []int{1, core.DefaultStripes},
+		MempoolTxs:    20000,
+		PopBatches:    []int{1, core.DefaultPopBatch, 8},
+		ProposeBlocks: 3,
+		Seed:          1,
+	}
+}
+
+// QuickContentionOptions is the CI smoke configuration: every code path,
+// seconds of runtime.
+func QuickContentionOptions() ContentionOptions {
+	return ContentionOptions{
+		Threads:       []int{1, 4},
+		OpsPerThread:  1500,
+		Accounts:      1024,
+		HotAccounts:   32,
+		ZipfS:         1.2,
+		StripeConfigs: []int{1, core.DefaultStripes},
+		MempoolTxs:    2000,
+		PopBatches:    []int{1, 8},
+		ProposeBlocks: 1,
+		Seed:          1,
+	}
+}
+
+// MVStatePoint is one (workload, stripes, threads) measurement of the
+// MVState commit hot path.
+type MVStatePoint struct {
+	Workload      string  `json:"workload"` // "uniform" | "zipf"
+	Stripes       int     `json:"stripes"`
+	Threads       int     `json:"threads"`
+	Commits       int64   `json:"commits"`
+	Aborts        int64   `json:"aborts"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	AbortRate     float64 `json:"abort_rate"`
+}
+
+// MempoolPoint is one (batch, threads) measurement of pool claim/settle
+// throughput.
+type MempoolPoint struct {
+	Batch      int     `json:"batch"`
+	Threads    int     `json:"threads"`
+	Txs        int     `json:"txs"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+	TxsPerSec  float64 `json:"txs_per_sec"`
+	LockTrips  int64   `json:"lock_trips"` // PopBatch calls made
+	MeanBatch  float64 `json:"mean_batch"`
+}
+
+// ProposePoint is one end-to-end Propose measurement on the synthetic
+// mainnet-like workload.
+type ProposePoint struct {
+	Stripes   int     `json:"stripes"`
+	Threads   int     `json:"threads"`
+	Txs       int     `json:"txs"`
+	Aborts    int     `json:"aborts"`
+	ElapsedMs float64 `json:"elapsed_ms"` // fastest repeat
+	TxsPerSec float64 `json:"txs_per_sec"`
+}
+
+// ContentionResult is the whole suite's outcome — the payload of
+// BENCH_proposer.json.
+type ContentionResult struct {
+	TakenAt        time.Time      `json:"taken_at"`
+	GOMAXPROCS     int            `json:"gomaxprocs"`
+	NumCPU         int            `json:"num_cpu"`
+	DefaultStripes int            `json:"default_stripes"`
+	MVState        []MVStatePoint `json:"mvstate"`
+	Mempool        []MempoolPoint `json:"mempool"`
+	Propose        []ProposePoint `json:"propose,omitempty"`
+
+	// UniformSpeedupAt8 is striped ÷ single-lock MVState commit throughput
+	// at 8 threads on the uniform workload (the PR-2 acceptance number;
+	// meaningful only on a multicore host).
+	UniformSpeedupAt8 float64 `json:"uniform_speedup_at_8_threads,omitempty"`
+	// ZipfAbortDelta is (striped − single-lock) abort rate at 8 threads on
+	// the Zipfian workload (regression guard: must stay small).
+	ZipfAbortDelta float64 `json:"zipf_abort_rate_delta_at_8_threads,omitempty"`
+}
+
+// contentionAddrs derives a stable account population.
+func contentionAddrs(n int) []types.Address {
+	out := make([]types.Address, n)
+	for i := range out {
+		var a types.Address
+		copy(a[:], "bench")
+		a[16] = byte(i >> 24)
+		a[17] = byte(i >> 16)
+		a[18] = byte(i >> 8)
+		a[19] = byte(i)
+		out[i] = a
+	}
+	return out
+}
+
+// runMVStatePoint hammers TryCommit/View from `threads` workers. Uniform
+// workers pick keys uniformly from the full population; Zipfian workers
+// concentrate on a small hot set. Aborted commits are not retried — the
+// point measures raw validate+install throughput and the abort rate.
+func runMVStatePoint(o ContentionOptions, zipfian bool, stripes, threads int) MVStatePoint {
+	pop := o.Accounts
+	if zipfian {
+		pop = o.HotAccounts
+	}
+	addrs := contentionAddrs(pop)
+	g := state.NewGenesisBuilder()
+	for _, a := range addrs {
+		g.AddAccount(a, uint256.NewInt(1))
+	}
+	mv := core.NewMVStateStripes(g.Build(), stripes)
+
+	var commits, aborts atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919))
+			var zipf *rand.Zipf
+			if zipfian {
+				zipf = rand.NewZipf(rng, o.ZipfS, 1, uint64(pop-1))
+			}
+			var c, a int64
+			for i := 0; i < o.OpsPerThread; i++ {
+				var addr types.Address
+				if zipfian {
+					addr = addrs[int(zipf.Uint64())]
+				} else {
+					addr = addrs[rng.Intn(pop)]
+				}
+				v := mv.Version()
+				view := mv.View(v)
+				bal := view.Balance(addr)
+
+				acc := types.NewAccessSet()
+				acc.NoteRead(types.AccountKey(addr), v)
+				acc.NoteWrite(types.AccountKey(addr))
+				cs := state.NewChangeSet()
+				var nb uint256.Int
+				one := uint256.NewInt(1)
+				nb.Add(&bal, one)
+				cs.Accounts[addr] = &state.AccountChange{Balance: nb}
+				if _, ok := mv.TryCommit(acc, cs); ok {
+					c++
+				} else {
+					a++
+				}
+			}
+			commits.Add(c)
+			aborts.Add(a)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	p := MVStatePoint{
+		Workload:  "uniform",
+		Stripes:   mv.Stripes(),
+		Threads:   threads,
+		Commits:   commits.Load(),
+		Aborts:    aborts.Load(),
+		ElapsedMs: float64(elapsed.Nanoseconds()) / 1e6,
+	}
+	if zipfian {
+		p.Workload = "zipf"
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		p.CommitsPerSec = float64(p.Commits) / s
+	}
+	if total := p.Commits + p.Aborts; total > 0 {
+		p.AbortRate = float64(p.Aborts) / float64(total)
+	}
+	return p
+}
+
+// runMempoolPoint cycles MempoolTxs one-nonce transactions (distinct
+// senders) through PopBatch/DoneBatch with `threads` workers.
+func runMempoolPoint(o ContentionOptions, batch, threads int) MempoolPoint {
+	senders := contentionAddrs(o.MempoolTxs)
+	txs := make([]*types.Transaction, len(senders))
+	for i, s := range senders {
+		tx := &types.Transaction{Nonce: 0, Gas: 21000, From: s, To: s}
+		tx.GasPrice.SetUint64(uint64(1 + i%97))
+		txs[i] = tx
+	}
+	pool := mempool.New()
+	pool.AddAll(txs)
+
+	var trips, popped atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				got := pool.PopBatch(batch)
+				if len(got) == 0 {
+					return // drained: every sender has exactly one tx
+				}
+				trips.Add(1)
+				popped.Add(int64(len(got)))
+				pool.DoneBatch(got)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	p := MempoolPoint{
+		Batch:     batch,
+		Threads:   threads,
+		Txs:       int(popped.Load()),
+		ElapsedMs: float64(elapsed.Nanoseconds()) / 1e6,
+		LockTrips: trips.Load(),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		p.TxsPerSec = float64(p.Txs) / s
+	}
+	if p.LockTrips > 0 {
+		p.MeanBatch = float64(p.Txs) / float64(p.LockTrips)
+	}
+	return p
+}
+
+// runProposePoint packs one synthetic block end to end.
+func runProposePoint(o ContentionOptions, wcfg workload.Config, stripes, threads, repeats int) (ProposePoint, error) {
+	g := workload.New(wcfg)
+	st := g.GenesisState()
+	parentHeader := &types.Header{Number: 0, StateRoot: st.Root(), GasLimit: chain.DefaultParams().GasLimit}
+	txs := g.NextBlockTxs()
+
+	var best time.Duration = 1<<63 - 1
+	var lastRes *core.ProposeResult
+	for r := 0; r < repeats; r++ {
+		pool := mempool.New()
+		pool.AddAll(txs)
+		startR := time.Now()
+		res, err := core.Propose(st, parentHeader, pool, core.ProposerConfig{
+			Threads: threads, Stripes: stripes,
+			Coinbase: types.HexToAddress("0xc01bbace"), Time: 1,
+		}, chain.DefaultParams())
+		if err != nil {
+			return ProposePoint{}, err
+		}
+		if d := time.Since(startR); d < best {
+			best = d
+		}
+		lastRes = res
+	}
+	effStripes := stripes
+	if effStripes == 0 {
+		effStripes = core.DefaultStripes
+	}
+	p := ProposePoint{
+		Stripes:   effStripes,
+		Threads:   threads,
+		Txs:       lastRes.Committed,
+		Aborts:    lastRes.Aborts,
+		ElapsedMs: float64(best.Nanoseconds()) / 1e6,
+	}
+	if s := best.Seconds(); s > 0 {
+		p.TxsPerSec = float64(p.Txs) / s
+	}
+	return p, nil
+}
+
+// RunContention runs the whole suite.
+func RunContention(o ContentionOptions) (*ContentionResult, error) {
+	res := &ContentionResult{
+		TakenAt:        time.Now().UTC(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		DefaultStripes: core.DefaultStripes,
+	}
+
+	type at8 struct{ cps, abort float64 }
+	uniform8 := map[int]at8{}
+	zipf8 := map[int]at8{}
+	for _, zipfian := range []bool{false, true} {
+		for _, stripes := range o.StripeConfigs {
+			for _, threads := range o.Threads {
+				p := runMVStatePoint(o, zipfian, stripes, threads)
+				res.MVState = append(res.MVState, p)
+				if threads == 8 {
+					if zipfian {
+						zipf8[stripes] = at8{p.CommitsPerSec, p.AbortRate}
+					} else {
+						uniform8[stripes] = at8{p.CommitsPerSec, p.AbortRate}
+					}
+				}
+			}
+		}
+	}
+	if base, ok := uniform8[1]; ok && base.cps > 0 {
+		for s, v := range uniform8 {
+			if s != 1 {
+				res.UniformSpeedupAt8 = v.cps / base.cps
+			}
+		}
+	}
+	if base, ok := zipf8[1]; ok {
+		for s, v := range zipf8 {
+			if s != 1 {
+				res.ZipfAbortDelta = v.abort - base.abort
+			}
+		}
+	}
+
+	for _, batch := range o.PopBatches {
+		for _, threads := range o.Threads {
+			res.Mempool = append(res.Mempool, runMempoolPoint(o, batch, threads))
+		}
+	}
+
+	if o.ProposeBlocks > 0 {
+		wcfg := workload.Default()
+		wcfg.Seed = o.Seed
+		for _, stripes := range o.StripeConfigs {
+			for _, threads := range o.Threads {
+				p, err := runProposePoint(o, wcfg, stripes, threads, o.ProposeBlocks)
+				if err != nil {
+					return nil, fmt.Errorf("contention propose (stripes=%d threads=%d): %w", stripes, threads, err)
+				}
+				res.Propose = append(res.Propose, p)
+			}
+		}
+	}
+	return res, nil
+}
+
+// WriteJSON persists the result (the BENCH_proposer.json trajectory file).
+func (r *ContentionResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Render prints the suite as text tables.
+func (r *ContentionResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Contention suite — GOMAXPROCS=%d, NumCPU=%d (stripe scaling needs a multicore host)\n\n",
+		r.GOMAXPROCS, r.NumCPU)
+
+	fmt.Fprintf(&b, "MVState commit hot path (commits/sec; aborts not retried):\n")
+	fmt.Fprintf(&b, "  %-8s %-8s %8s %14s %12s\n", "workload", "stripes", "threads", "commits/s", "abort rate")
+	for _, p := range r.MVState {
+		fmt.Fprintf(&b, "  %-8s %-8d %8d %14.0f %11.2f%%\n",
+			p.Workload, p.Stripes, p.Threads, p.CommitsPerSec, p.AbortRate*100)
+	}
+	if r.UniformSpeedupAt8 > 0 {
+		fmt.Fprintf(&b, "  striped vs single-lock at 8 threads (uniform): %.2fx; zipf abort-rate delta: %+.2f%%\n",
+			r.UniformSpeedupAt8, r.ZipfAbortDelta*100)
+	}
+
+	fmt.Fprintf(&b, "\nMempool claim/settle (PopBatch + DoneBatch):\n")
+	fmt.Fprintf(&b, "  %-6s %8s %12s %12s %10s\n", "batch", "threads", "txs/s", "lock trips", "mean batch")
+	for _, p := range r.Mempool {
+		fmt.Fprintf(&b, "  %-6d %8d %12.0f %12d %10.1f\n", p.Batch, p.Threads, p.TxsPerSec, p.LockTrips, p.MeanBatch)
+	}
+
+	if len(r.Propose) > 0 {
+		fmt.Fprintf(&b, "\nEnd-to-end Propose (synthetic mainnet-like block):\n")
+		fmt.Fprintf(&b, "  %-8s %8s %8s %10s %8s\n", "stripes", "threads", "txs/s", "block ms", "aborts")
+		for _, p := range r.Propose {
+			fmt.Fprintf(&b, "  %-8d %8d %8.0f %10.1f %8d\n", p.Stripes, p.Threads, p.TxsPerSec, p.ElapsedMs, p.Aborts)
+		}
+	}
+	return b.String()
+}

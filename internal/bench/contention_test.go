@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blockpilot/internal/core"
+)
+
+// TestContentionSmoke runs the whole contention suite on the quick
+// configuration (the `make ci` bench smoke): every code path executes, the
+// JSON artifact round-trips, and the basic accounting invariants hold.
+func TestContentionSmoke(t *testing.T) {
+	o := QuickContentionOptions()
+	if testing.Short() {
+		o.OpsPerThread = 300
+		o.MempoolTxs = 500
+		o.ProposeBlocks = 1
+	}
+	res, err := RunContention(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMV := 2 * len(o.StripeConfigs) * len(o.Threads) // uniform + zipf
+	if len(res.MVState) != wantMV {
+		t.Fatalf("MVState points = %d, want %d", len(res.MVState), wantMV)
+	}
+	for _, p := range res.MVState {
+		if p.Commits+p.Aborts != int64(p.Threads*o.OpsPerThread) {
+			t.Fatalf("%s stripes=%d threads=%d: %d commits + %d aborts != %d ops",
+				p.Workload, p.Stripes, p.Threads, p.Commits, p.Aborts, p.Threads*o.OpsPerThread)
+		}
+		if p.CommitsPerSec <= 0 {
+			t.Fatalf("non-positive commit throughput: %+v", p)
+		}
+	}
+	if len(res.Mempool) != len(o.PopBatches)*len(o.Threads) {
+		t.Fatalf("Mempool points = %d", len(res.Mempool))
+	}
+	for _, p := range res.Mempool {
+		if p.Txs != o.MempoolTxs {
+			t.Fatalf("mempool point drained %d txs, want %d", p.Txs, o.MempoolTxs)
+		}
+		if p.Batch > 1 && p.Threads == 1 && p.MeanBatch <= 1 {
+			t.Fatalf("batch=%d single-thread mean batch %.2f, want > 1", p.Batch, p.MeanBatch)
+		}
+	}
+	if len(res.Propose) != len(o.StripeConfigs)*len(o.Threads) {
+		t.Fatalf("Propose points = %d", len(res.Propose))
+	}
+	for _, p := range res.Propose {
+		if p.Txs == 0 || p.TxsPerSec <= 0 {
+			t.Fatalf("empty propose point: %+v", p)
+		}
+	}
+
+	// The JSON artifact must round-trip.
+	path := filepath.Join(t.TempDir(), "BENCH_proposer.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ContentionResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.DefaultStripes != core.DefaultStripes || len(back.MVState) != len(res.MVState) {
+		t.Fatal("JSON round-trip lost data")
+	}
+}
+
+// BenchmarkMVStateCommit compares the single-lock baseline and the striped
+// MVState on the uniform commit workload (go test -bench, -benchmem).
+func BenchmarkMVStateCommit(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		stripes int
+	}{{"single-lock", 1}, {"striped", core.DefaultStripes}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			o := QuickContentionOptions()
+			o.OpsPerThread = b.N
+			b.ReportAllocs()
+			b.ResetTimer()
+			p := runMVStatePoint(o, false, cfg.stripes, 1)
+			b.StopTimer()
+			if p.Commits == 0 {
+				b.Fatal("no commits")
+			}
+		})
+	}
+}
+
+// BenchmarkMempoolPopBatch measures pool claim/settle at batch sizes 1
+// (pre-batching behavior) and DefaultPopBatch.
+func BenchmarkMempoolPopBatch(b *testing.B) {
+	for _, batch := range []int{1, core.DefaultPopBatch} {
+		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			o := QuickContentionOptions()
+			o.MempoolTxs = 2000
+			b.ReportAllocs()
+			ops := 0
+			for ops < b.N {
+				p := runMempoolPoint(o, batch, 1)
+				ops += p.Txs
+			}
+		})
+	}
+}

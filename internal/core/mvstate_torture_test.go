@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -119,6 +121,240 @@ func TestMVStateTorture(t *testing.T) {
 		got := flat.Accounts[a].Balance
 		if !got.Eq(&want) {
 			t.Fatalf("flatten diverges from latest view for %s", a)
+		}
+	}
+}
+
+// TestMVStateStripedTorture runs the torture workload across stripe
+// configurations, with every commit spanning two accounts (and so, almost
+// always, two stripes) plus a storage slot, to exercise multi-stripe lock
+// acquisition, cross-stripe snapshot consistency, and the determinism
+// property the proposer relies on: the version order returned by TryCommit
+// IS the serialization order (commit order = version order). Run with -race.
+func TestMVStateStripedTorture(t *testing.T) {
+	for _, stripes := range []int{1, 4, DefaultStripes} {
+		stripes := stripes
+		t.Run(fmt.Sprintf("stripes=%d", stripes), func(t *testing.T) {
+			tortureStripes(t, stripes)
+		})
+	}
+}
+
+func tortureStripes(t *testing.T, stripes int) {
+	const accounts = 24
+	const writers = 8
+	const commitsPerWriter = 150
+	slot := types.BytesToHash([]byte{0xAA})
+
+	g := state.NewGenesisBuilder()
+	addrs := make([]types.Address, accounts)
+	for i := range addrs {
+		addrs[i] = types.BytesToAddress([]byte{byte(i + 1)})
+		g.AddAccount(addrs[i], uint256.NewInt(0))
+	}
+	mv := NewMVStateStripes(g.Build(), stripes)
+	if got := mv.Stripes(); stripes > 1 && got < 2 {
+		t.Fatalf("Stripes() = %d for requested %d", got, stripes)
+	}
+
+	// Each commit writes one value into the balance of TWO accounts and into
+	// one storage slot of the first. Writers record every version TryCommit
+	// hands out plus the value written; afterwards the versions must be
+	// exactly 1..N (commit order = version order, no gaps, no duplicates),
+	// and for every account the latest view must show the value written by
+	// the commit with the LARGEST version that touched it (last writer in
+	// version order wins, across stripes).
+	type record struct {
+		v    types.Version
+		a, b int    // account indices written
+		val  uint64 // balance/slot value written
+	}
+	recs := make([][]record, writers)
+	var writersWG, readersWG sync.WaitGroup
+	var aborts atomic.Int64
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			for i := 0; i < commitsPerWriter; i++ {
+				ai := rng.Intn(accounts)
+				bi := (ai + 1 + rng.Intn(accounts-1)) % accounts
+				for {
+					v := mv.Version()
+					view := mv.View(v)
+					_ = view.Balance(addrs[ai])
+					_ = view.Storage(addrs[ai], slot)
+
+					acc := types.NewAccessSet()
+					acc.NoteRead(types.AccountKey(addrs[ai]), v)
+					acc.NoteWrite(types.AccountKey(addrs[ai]))
+					acc.NoteWrite(types.AccountKey(addrs[bi]))
+					acc.NoteWrite(types.StorageKey(addrs[ai], slot))
+					cs := state.NewChangeSet()
+					// Speculative value: ≤ the version this commit will get
+					// (commits that don't touch ai may slip in between, so it
+					// can lag, but it can never exceed it).
+					val := *uint256.NewInt(uint64(v + 1))
+					cs.Accounts[addrs[ai]] = &state.AccountChange{
+						Balance: val,
+						Storage: map[types.Hash]uint256.Int{slot: val},
+					}
+					cs.Accounts[addrs[bi]] = &state.AccountChange{Balance: val}
+					got, ok := mv.TryCommit(acc, cs)
+					if ok {
+						recs[w] = append(recs[w], record{v: got, a: ai, b: bi, val: val.Uint64()})
+						break
+					}
+					aborts.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Readers verify cross-stripe snapshot stability: a view pinned at v
+	// must never show any balance or slot value > v, in any stripe.
+	stop := make(chan struct{})
+	var readerErr atomic.Value
+	for r := 0; r < 4; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pin := mv.Version()
+				view := mv.View(pin)
+				for _, a := range addrs {
+					if b := view.Balance(a); b.Uint64() > uint64(pin) {
+						readerErr.Store("pinned view saw a future balance")
+						return
+					}
+					if s := view.Storage(a, slot); s.Uint64() > uint64(pin) {
+						readerErr.Store("pinned view saw a future slot write")
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+	if e := readerErr.Load(); e != nil {
+		t.Fatal(e)
+	}
+
+	// Determinism: commit order = version order. Versions handed out are a
+	// permutation of 1..N.
+	total := writers * commitsPerWriter
+	seen := make([]bool, total+1)
+	type winner struct {
+		v   types.Version
+		val uint64
+	}
+	lastWriter := make(map[int]winner) // account index -> last commit touching it
+	for _, wr := range recs {
+		for _, rec := range wr {
+			if rec.v < 1 || int(rec.v) > total || seen[rec.v] {
+				t.Fatalf("version %d out of range or duplicated", rec.v)
+			}
+			seen[rec.v] = true
+			if rec.v > lastWriter[rec.a].v {
+				lastWriter[rec.a] = winner{rec.v, rec.val}
+			}
+			if rec.v > lastWriter[rec.b].v {
+				lastWriter[rec.b] = winner{rec.v, rec.val}
+			}
+		}
+	}
+	if got := mv.Version(); got != types.Version(total) {
+		t.Fatalf("final version %d, want %d", got, total)
+	}
+
+	// Last-writer-wins per account, across stripes: the latest view and the
+	// flattened change set must both show the value of the max-version
+	// commit that touched each account.
+	latest := mv.Latest()
+	flat := mv.Flatten()
+	for i, a := range addrs {
+		want := lastWriter[i].val
+		if got := latest.Balance(a); got.Uint64() != want {
+			t.Fatalf("account %d: latest balance %d, want last-writer value %d (version %d)",
+				i, got.Uint64(), want, lastWriter[i].v)
+		}
+		if ac := flat.Accounts[a]; ac == nil || ac.Balance.Uint64() != want {
+			t.Fatalf("account %d: flatten diverges from last-writer value %d", i, want)
+		}
+	}
+	t.Logf("stripes=%d: %d commits, %d aborts", stripes, total, aborts.Load())
+}
+
+// TestMVStateStripedVsSingleLock replays one deterministic commit sequence
+// against a single-lock MVState and a striped one; the flattened change
+// sets must be identical (striping must not change semantics, only lock
+// granularity — the ablation the benchmarks compare).
+func TestMVStateStripedVsSingleLock(t *testing.T) {
+	build := func(stripes int) *state.ChangeSet {
+		g := state.NewGenesisBuilder()
+		addrs := make([]types.Address, 12)
+		for i := range addrs {
+			addrs[i] = types.BytesToAddress([]byte{byte(i + 1)})
+			g.AddAccount(addrs[i], uint256.NewInt(1000))
+		}
+		mv := NewMVStateStripes(g.Build(), stripes)
+		rng := rand.New(rand.NewSource(42))
+		slot := types.BytesToHash([]byte{0x55})
+		for i := 0; i < 400; i++ {
+			a := addrs[rng.Intn(len(addrs))]
+			b := addrs[rng.Intn(len(addrs))]
+			v := mv.Version()
+			acc := types.NewAccessSet()
+			acc.NoteRead(types.AccountKey(a), v)
+			acc.NoteWrite(types.AccountKey(a))
+			acc.NoteWrite(types.StorageKey(b, slot))
+			cs := state.NewChangeSet()
+			cs.Accounts[a] = &state.AccountChange{Balance: *uint256.NewInt(uint64(i))}
+			bc := cs.Accounts[b]
+			if bc == nil {
+				bc = &state.AccountChange{}
+				if vb := mv.View(v).Balance(b); true {
+					bc.Balance = vb // keep b's scalars at their current value
+				}
+				cs.Accounts[b] = bc
+			}
+			if bc.Storage == nil {
+				bc.Storage = make(map[types.Hash]uint256.Int)
+			}
+			bc.Storage[slot] = *uint256.NewInt(uint64(i * 3))
+			if _, ok := mv.TryCommit(acc, cs); !ok {
+				t.Fatalf("serial commit %d aborted", i)
+			}
+		}
+		return mv.Flatten()
+	}
+	single := build(1)
+	striped := build(DefaultStripes)
+	if len(single.Accounts) != len(striped.Accounts) {
+		t.Fatalf("account count differs: %d vs %d", len(single.Accounts), len(striped.Accounts))
+	}
+	for a, sc := range single.Accounts {
+		tc := striped.Accounts[a]
+		if tc == nil || !tc.Balance.Eq(&sc.Balance) || tc.Nonce != sc.Nonce {
+			t.Fatalf("account %s differs between single-lock and striped flatten", a)
+		}
+		if len(sc.Storage) != len(tc.Storage) {
+			t.Fatalf("account %s storage size differs: %d vs %d", a, len(sc.Storage), len(tc.Storage))
+		}
+		for s, v := range sc.Storage {
+			got, ok := tc.Storage[s]
+			if !ok || !got.Eq(&v) {
+				t.Fatalf("slot %s/%s differs between single-lock and striped flatten", a, s)
+			}
 		}
 	}
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -25,6 +24,14 @@ type ProposerConfig struct {
 	// storage slots of one contract then conflict and one aborts. The
 	// default (false) uses the paper's account+slot granularity.
 	AccountLevelKeys bool
+	// Stripes sets the MVState lock-stripe count (rounded to a power of
+	// two, max 64). 0 selects core.DefaultStripes; 1 reproduces the
+	// pre-striping single-lock MVState (ablation, DESIGN.md §5.4).
+	Stripes int
+	// PopBatch is how many transactions a worker claims from the mempool
+	// per lock acquisition (0 = DefaultPopBatch). Larger batches amortize
+	// pool contention; smaller batches keep the price ordering tighter.
+	PopBatch int
 }
 
 // CoarsenAccessSet maps every key of an access set to its account-level key
@@ -42,6 +49,11 @@ func CoarsenAccessSet(a *types.AccessSet) *types.AccessSet {
 
 // DefaultMaxRetries bounds livelock from pathologically conflicting txs.
 const DefaultMaxRetries = 128
+
+// DefaultPopBatch is the default mempool claim size per worker trip: large
+// enough to amortize the pool's heap lock, small enough that the tail of a
+// block still spreads across workers.
+const DefaultPopBatch = 4
 
 // ProposeResult is the outcome of packing one block.
 type ProposeResult struct {
@@ -66,11 +78,17 @@ type committedTx struct {
 }
 
 // Propose packs a new block from the pending pool using OCC-WSI parallel
-// execution (paper Algorithm 1). Worker threads pop transactions by gas
-// price, execute them against versioned snapshots, and commit through the
-// reserve-table validation; conflicted transactions return to the pool.
-// The block's transaction order is the commit (serialization) order, and
-// the block profile carries each transaction's read/write sets.
+// execution (paper Algorithm 1). Worker threads claim transactions by gas
+// price in small batches, execute them against versioned snapshots, and
+// commit through the (striped) reserve-table validation; conflicted
+// transactions return to the pool. The block's transaction order is the
+// commit (serialization) order, and the block profile carries each
+// transaction's read/write sets.
+//
+// Idle workers block on a condition variable instead of spinning: the pool
+// signals whenever a transaction becomes executable (Add, Requeue, or a
+// nonce promotion), and the worker that retires the last in-flight
+// transaction broadcasts so everyone observes the drained pool and exits.
 func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.Pool,
 	cfg ProposerConfig, params chain.Params) (*ProposeResult, error) {
 
@@ -79,6 +97,10 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 	}
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = DefaultMaxRetries
+	}
+	batch := cfg.PopBatch
+	if batch < 1 {
+		batch = DefaultPopBatch
 	}
 	header := &types.Header{
 		ParentHash: parentHeader.Hash(),
@@ -90,12 +112,12 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 	span := telemetry.StartSpan("proposer.propose", header.Number, telemetry.ProposerBlockSeconds)
 	defer span.End()
 	bc := chain.BlockContextFor(header, params.ChainID)
-	mv := NewMVState(parent)
+	mv := NewMVStateStripes(parent, cfg.Stripes)
 
 	var (
-		mu        sync.Mutex
+		mu        sync.Mutex // guards committed + fees only
 		committed []committedTx
-		gasUsed   uint64
+		gasUsed   atomic.Uint64
 		fees      uint256.Int
 		aborts    atomic.Int64
 		dropped   atomic.Int64
@@ -104,72 +126,127 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 		retries   sync.Map // tx hash → *atomic.Int64
 	)
 
-	worker := func() {
-		for !gasFull.Load() {
-			tx := pool.Pop()
-			if tx == nil {
-				if inFlight.Load() == 0 {
-					return // pool drained and nobody can requeue
-				}
-				runtime.Gosched()
-				continue
-			}
-			inFlight.Add(1)
-			v := mv.Version()
-			telemetry.ProposerSnapshotBuilds.Inc()
-			overlay := state.NewOverlay(mv.View(v), v)
-			receipt, fee, err := chain.ApplyTransaction(overlay, tx, bc)
-			if err != nil {
-				switch {
-				case errors.Is(err, chain.ErrNonceTooHigh):
-					// An earlier-nonce tx aborted after this one was queued
-					// behind it: retry once the chain settles.
-					requeueOrDrop(pool, tx, &retries, cfg.MaxRetries, &dropped)
-				default:
-					// Nonce too low / unfunded: permanently invalid here.
-					pool.Done(tx)
-					dropped.Add(1)
-					telemetry.ProposerDrops.Inc()
-				}
-				inFlight.Add(-1)
-				continue
-			}
+	// Idle-worker wakeup: waiters hold idleMu while checking the predicate
+	// (pool.Executable, inFlight, gasFull); every signaller acquires idleMu
+	// around the broadcast, so a predicate change can never slip between a
+	// waiter's check and its Wait (no lost wakeups, no busy spin).
+	var idleMu sync.Mutex
+	idleCond := sync.NewCond(&idleMu)
+	wake := func() {
+		idleMu.Lock()
+		idleCond.Broadcast()
+		idleMu.Unlock()
+	}
+	pool.SetExecutableHook(wake)
+	defer pool.SetExecutableHook(nil)
 
-			// Commit critical section (Alg. 1 DetectConflict, serialized by
-			// the MVState lock; block-side bookkeeping under mu).
-			mu.Lock()
-			if gasUsed+receipt.GasUsed > params.GasLimit {
+	// settle retires n in-flight transactions; the worker that drains the
+	// last one wakes every idle peer so they can observe the exit condition.
+	settle := func(n int64) {
+		if inFlight.Add(-n) == 0 {
+			wake()
+		}
+	}
+
+	// processOne executes and tries to commit a single claimed transaction.
+	processOne := func(tx *types.Transaction) {
+		v := mv.Version()
+		telemetry.ProposerSnapshotBuilds.Inc()
+		overlay := state.NewOverlay(mv.View(v), v)
+		receipt, fee, err := chain.ApplyTransaction(overlay, tx, bc)
+		if err != nil {
+			switch {
+			case errors.Is(err, chain.ErrNonceTooHigh):
+				// An earlier-nonce tx aborted after this one was queued
+				// behind it: retry once the chain settles.
+				requeueOrDrop(pool, tx, &retries, cfg.MaxRetries, &dropped)
+			default:
+				// Nonce too low / unfunded: permanently invalid here.
+				pool.Done(tx)
+				dropped.Add(1)
+				telemetry.ProposerDrops.Inc()
+			}
+			return
+		}
+
+		// Gas reservation: claim the receipt's gas with a CAS loop so the
+		// commit itself (Alg. 1 DetectConflict) can run outside any global
+		// lock — commits on disjoint stripe sets proceed fully in parallel.
+		// An aborted commit releases its reservation.
+		for {
+			cur := gasUsed.Load()
+			if cur+receipt.GasUsed > params.GasLimit {
 				gasFull.Store(true)
-				mu.Unlock()
 				pool.Requeue(tx) // leave it for the next block
-				inFlight.Add(-1)
+				wake()           // unblock idle workers so they observe gasFull
 				return
 			}
-			commitView := overlay.Access()
-			if cfg.AccountLevelKeys {
-				commitView = CoarsenAccessSet(commitView)
+			if gasUsed.CompareAndSwap(cur, cur+receipt.GasUsed) {
+				break
 			}
-			version, ok := mv.TryCommit(commitView, overlay.ChangeSet())
-			if ok {
-				gasUsed += receipt.GasUsed
-				fees.Add(&fees, fee)
-				committed = append(committed, committedTx{
-					version: version,
-					tx:      tx,
-					receipt: receipt,
-					profile: types.ProfileFromAccessSet(overlay.Access(), receipt.GasUsed),
-				})
-			}
+		}
+		commitView := overlay.Access()
+		if cfg.AccountLevelKeys {
+			commitView = CoarsenAccessSet(commitView)
+		}
+		version, ok := mv.TryCommit(commitView, overlay.ChangeSet())
+		if ok {
+			mu.Lock()
+			fees.Add(&fees, fee)
+			committed = append(committed, committedTx{
+				version: version,
+				tx:      tx,
+				receipt: receipt,
+				profile: types.ProfileFromAccessSet(overlay.Access(), receipt.GasUsed),
+			})
 			mu.Unlock()
-			if ok {
-				pool.Done(tx)
-				telemetry.ProposerCommits.Inc()
-			} else {
-				aborts.Add(1)
-				telemetry.ProposerAborts.Inc()
-				requeueOrDrop(pool, tx, &retries, cfg.MaxRetries, &dropped)
+			pool.Done(tx)
+			telemetry.ProposerCommits.Inc()
+		} else {
+			gasUsed.Add(^(receipt.GasUsed - 1)) // release the reservation
+			aborts.Add(1)
+			telemetry.ProposerAborts.Inc()
+			requeueOrDrop(pool, tx, &retries, cfg.MaxRetries, &dropped)
+		}
+	}
+
+	worker := func() {
+		for !gasFull.Load() {
+			txs := pool.PopBatch(batch)
+			if len(txs) == 0 {
+				// Blocking wait with a drained-pool exit path: no spin when
+				// inFlight > 0 but the heap is empty.
+				idleMu.Lock()
+				for {
+					if gasFull.Load() {
+						idleMu.Unlock()
+						return
+					}
+					if pool.Executable() > 0 {
+						break
+					}
+					if inFlight.Load() == 0 {
+						idleMu.Unlock()
+						wake() // make sure peers re-check and exit too
+						return
+					}
+					idleCond.Wait()
+				}
+				idleMu.Unlock()
+				continue
 			}
-			inFlight.Add(-1)
+			inFlight.Add(int64(len(txs)))
+			for i, tx := range txs {
+				if gasFull.Load() {
+					// Block filled mid-batch: return the unexecuted rest.
+					rest := txs[i:]
+					pool.RequeueBatch(rest)
+					settle(int64(len(rest)))
+					return
+				}
+				processOne(tx)
+				settle(1)
+			}
 		}
 	}
 
@@ -205,7 +282,7 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 	postState := parent.Commit(total)
 
 	telemetry.ProposerBlockTxs.Observe(uint64(len(committed)))
-	header.GasUsed = gasUsed
+	header.GasUsed = gasUsed.Load()
 	header.StateRoot = postState.Root()
 	header.TxRoot = types.ComputeTxRoot(txs)
 	header.ReceiptRoot = types.ComputeReceiptRoot(receipts)
@@ -216,7 +293,7 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 		Receipts:  receipts,
 		State:     postState,
 		Fees:      fees,
-		GasUsed:   gasUsed,
+		GasUsed:   gasUsed.Load(),
 		Committed: len(committed),
 		Aborts:    int(aborts.Load()),
 		Dropped:   int(dropped.Load()),

@@ -9,7 +9,21 @@
 // Aborted transactions re-enter through Requeue, exactly as Algorithm 1
 // pushes conflicted transactions back.
 //
-// The pool is safe for concurrent use by the proposer's worker threads.
+// The pool is safe for concurrent use by the proposer's worker threads and
+// is built for low contention under many workers:
+//
+//   - the price heap has its own short mutex, held only for heap surgery;
+//   - all per-sender bookkeeping (nonce queue, in-flight marker, resident
+//     pointer) lives in a sharded sender table keyed by sender address, so
+//     Add/Done/Requeue on different senders never collide;
+//   - PopBatch/RequeueBatch/DoneBatch amortize one heap-lock acquisition
+//     over several transactions (Pop is PopBatch(1)).
+//
+// Lock order: a sender-shard mutex may be held while taking the heap mutex,
+// never the reverse. Pop works heap-first and settles the sender shard
+// afterwards; the short window between the two is bridged by the item's
+// atomic `popped` flag, which Add/replace/promote treat as "sender has an
+// in-flight transaction whose settle is imminent".
 package mempool
 
 import (
@@ -17,6 +31,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"blockpilot/internal/telemetry"
 	"blockpilot/internal/types"
@@ -27,32 +42,90 @@ import (
 type item struct {
 	tx    *types.Transaction
 	index int
+	// popped is set (under the heap mutex) the instant the item leaves the
+	// heap through Pop/PopBatch. Until the popper settles the sender shard,
+	// the shard's resident pointer still names this item; popped tells
+	// every shard-side reader to treat the sender as blocked.
+	popped atomic.Bool
+}
+
+// senderShardCount shards the sender table; a power of two.
+const senderShardCount = 16
+
+// senderShard is one shard of the per-sender bookkeeping.
+type senderShard struct {
+	mu       sync.Mutex
+	queues   map[types.Address][]*types.Transaction // nonce-sorted backlog
+	inFlight map[types.Address]int                  // popped, neither Done nor Requeued
+	resident map[types.Address]*item                // the sender's heap entry
+	_        [16]byte
 }
 
 // Pool is a concurrent pending-transaction pool.
 type Pool struct {
-	mu        sync.Mutex
-	heap      priceHeap
-	residents map[types.Address]*item                // the sender's heap entry
-	queues    map[types.Address][]*types.Transaction // nonce-sorted backlog
-	inFlight  map[types.Address]int                  // popped, neither Done nor Requeued
-	count     int
+	heapMu sync.Mutex
+	heap   priceHeap
+
+	shards [senderShardCount]senderShard
+	count  atomic.Int64
+
+	// executableHook, when set, is invoked (outside all pool locks) after
+	// an operation makes a transaction executable (a heap push). The
+	// proposer points it at its idle-worker wakeup.
+	executableHook atomic.Pointer[func()]
 }
 
 // New returns an empty pool.
 func New() *Pool {
-	return &Pool{
-		residents: make(map[types.Address]*item),
-		queues:    make(map[types.Address][]*types.Transaction),
-		inFlight:  make(map[types.Address]int),
+	p := &Pool{}
+	for i := range p.shards {
+		p.shards[i] = senderShard{
+			queues:   make(map[types.Address][]*types.Transaction),
+			inFlight: make(map[types.Address]int),
+			resident: make(map[types.Address]*item),
+		}
+	}
+	return p
+}
+
+// shardOf returns the sender's shard.
+func (p *Pool) shardOf(s types.Address) *senderShard {
+	h := uint64(14695981039346656037)
+	for _, b := range s {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return &p.shards[(h*0x9E3779B97F4A7C15)>>32&(senderShardCount-1)]
+}
+
+// SetExecutableHook installs (or, with nil, removes) the became-executable
+// callback. The hook runs outside every pool lock; it must be cheap and
+// must not call back into the pool's write paths.
+func (p *Pool) SetExecutableHook(f func()) {
+	if f == nil {
+		p.executableHook.Store(nil)
+		return
+	}
+	p.executableHook.Store(&f)
+}
+
+// notifyExecutable fires the hook, if any. Called with no locks held.
+func (p *Pool) notifyExecutable() {
+	if f := p.executableHook.Load(); f != nil {
+		(*f)()
 	}
 }
 
 // Len returns the number of transactions currently held.
 func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.count
+	return int(p.count.Load())
+}
+
+// Executable returns how many transactions are immediately poppable (the
+// price-heap size): at most one per pending sender.
+func (p *Pool) Executable() int {
+	p.heapMu.Lock()
+	defer p.heapMu.Unlock()
+	return p.heap.Len()
 }
 
 // PriceBumpPercent is the minimum price increase for a replacement
@@ -68,27 +141,34 @@ var ErrReplaceUnderpriced = errors.New("mempool: replacement transaction underpr
 // with the same (sender, nonce) as a pending one replaces it when its gas
 // price is at least PriceBumpPercent higher, and is rejected otherwise.
 func (p *Pool) Add(tx *types.Transaction) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.replaceIfPending(tx); err != nil {
+	sh := p.shardOf(tx.From)
+	sh.mu.Lock()
+	err := p.replaceIfPending(sh, tx)
+	if err != nil {
+		sh.mu.Unlock()
 		if errors.Is(err, errReplaced) {
+			p.notifyExecutable() // replacement re-enters the heap
 			return nil
 		}
 		return err
 	}
-	p.count++
-	telemetry.MempoolPending.Set(int64(p.count))
-	p.insert(tx)
+	p.count.Add(1)
+	telemetry.MempoolPending.Set(p.count.Load())
+	pushed := p.insert(sh, tx)
+	sh.mu.Unlock()
+	if pushed {
+		p.notifyExecutable()
+	}
 	return nil
 }
 
 // errReplaced signals that replaceIfPending already installed the tx.
 var errReplaced = errors.New("replaced")
 
-// replaceIfPending handles same-(sender, nonce) replacement (lock held).
-// Returns nil when no pending tx matches, errReplaced when the replacement
-// was installed, ErrReplaceUnderpriced when rejected.
-func (p *Pool) replaceIfPending(tx *types.Transaction) error {
+// replaceIfPending handles same-(sender, nonce) replacement (shard lock
+// held). Returns nil when no pending tx matches, errReplaced when the
+// replacement was installed, ErrReplaceUnderpriced when rejected.
+func (p *Pool) replaceIfPending(sh *senderShard, tx *types.Transaction) error {
 	s := tx.From
 	bumpOK := func(old *types.Transaction) bool {
 		// new price ≥ old price × (100 + bump) / 100, in integer math.
@@ -99,18 +179,27 @@ func (p *Pool) replaceIfPending(tx *types.Transaction) error {
 		threshold.Div(&threshold, &hundred)
 		return tx.GasPrice.Gt(&threshold) || tx.GasPrice.Eq(&threshold)
 	}
-	if res := p.residents[s]; res != nil && res.tx.Nonce == tx.Nonce {
+	if res := sh.resident[s]; res != nil && res.tx.Nonce == tx.Nonce && !res.popped.Load() {
 		if !bumpOK(res.tx) {
 			return ErrReplaceUnderpriced
+		}
+		// Swap inside the heap under the heap lock; re-check popped there —
+		// a concurrent PopBatch may have taken the item between the check
+		// above and this critical section.
+		p.heapMu.Lock()
+		if res.popped.Load() {
+			p.heapMu.Unlock()
+			return nil // fell in flight: treat as no pending match
 		}
 		heap.Remove(&p.heap, res.index)
 		it := &item{tx: tx}
 		heap.Push(&p.heap, it)
-		p.residents[s] = it
+		p.heapMu.Unlock()
+		sh.resident[s] = it
 		telemetry.MempoolReplacements.Inc()
 		return errReplaced
 	}
-	q := p.queues[s]
+	q := sh.queues[s]
 	for i, old := range q {
 		if old.Nonce != tx.Nonce {
 			continue
@@ -136,87 +225,163 @@ func (p *Pool) AddAll(txs []*types.Transaction) {
 // in-flight slot for the sender; the transaction becomes eligible again once
 // no earlier in-flight transaction of the sender remains.
 func (p *Pool) Requeue(tx *types.Transaction) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.count++
-	telemetry.MempoolPending.Set(int64(p.count))
-	p.decInFlight(tx.From)
-	p.insert(tx)
-	p.promote(tx.From)
+	sh := p.shardOf(tx.From)
+	sh.mu.Lock()
+	pushed := p.requeueLocked(sh, tx)
+	sh.mu.Unlock()
+	p.count.Add(1)
+	telemetry.MempoolPending.Set(p.count.Load())
+	if pushed {
+		p.notifyExecutable()
+	}
+}
+
+// RequeueBatch returns several aborted transactions in one pass, taking each
+// sender shard at most once per transaction but signalling waiters once.
+func (p *Pool) RequeueBatch(txs []*types.Transaction) {
+	if len(txs) == 0 {
+		return
+	}
+	pushed := false
+	for _, tx := range txs {
+		sh := p.shardOf(tx.From)
+		sh.mu.Lock()
+		if p.requeueLocked(sh, tx) {
+			pushed = true
+		}
+		sh.mu.Unlock()
+	}
+	p.count.Add(int64(len(txs)))
+	telemetry.MempoolPending.Set(p.count.Load())
+	if pushed {
+		p.notifyExecutable()
+	}
+}
+
+// requeueLocked is Requeue's core (shard lock held). Reports whether a
+// transaction entered the heap.
+func (p *Pool) requeueLocked(sh *senderShard, tx *types.Transaction) bool {
+	p.decInFlight(sh, tx.From)
+	return p.insert(sh, tx)
 }
 
 // Done reports that a popped transaction is finished for good (committed or
 // permanently dropped), unblocking the sender's next nonce.
 func (p *Pool) Done(tx *types.Transaction) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.decInFlight(tx.From)
-	p.promote(tx.From)
+	sh := p.shardOf(tx.From)
+	sh.mu.Lock()
+	p.decInFlight(sh, tx.From)
+	pushed := p.promote(sh, tx.From)
+	sh.mu.Unlock()
+	if pushed {
+		p.notifyExecutable()
+	}
 }
 
-func (p *Pool) decInFlight(s types.Address) {
-	if n := p.inFlight[s]; n <= 1 {
-		delete(p.inFlight, s)
-	} else {
-		p.inFlight[s] = n - 1
+// DoneBatch settles several popped transactions, signalling waiters once.
+func (p *Pool) DoneBatch(txs []*types.Transaction) {
+	pushed := false
+	for _, tx := range txs {
+		sh := p.shardOf(tx.From)
+		sh.mu.Lock()
+		p.decInFlight(sh, tx.From)
+		if p.promote(sh, tx.From) {
+			pushed = true
+		}
+		sh.mu.Unlock()
 	}
+	if pushed {
+		p.notifyExecutable()
+	}
+}
+
+func (p *Pool) decInFlight(sh *senderShard, s types.Address) {
+	if n := sh.inFlight[s]; n <= 1 {
+		delete(sh.inFlight, s)
+	} else {
+		sh.inFlight[s] = n - 1
+	}
+}
+
+// blocked reports whether the sender may not gain a new heap resident:
+// either a popped transaction is still in flight, or a pop is being settled
+// (resident pointer still names a popped item).
+func (sh *senderShard) blocked(s types.Address) bool {
+	if sh.inFlight[s] > 0 {
+		return true
+	}
+	if res := sh.resident[s]; res != nil && res.popped.Load() {
+		return true
+	}
+	return false
 }
 
 // promote moves the sender's queue head into the heap when the sender has
-// no in-flight transaction and no resident (lock held).
-func (p *Pool) promote(s types.Address) {
-	if p.inFlight[s] > 0 || p.residents[s] != nil {
-		return
+// no in-flight transaction and no resident (shard lock held). Reports
+// whether a heap push happened.
+func (p *Pool) promote(sh *senderShard, s types.Address) bool {
+	if sh.blocked(s) || sh.resident[s] != nil {
+		return false
 	}
-	q := p.queues[s]
+	q := sh.queues[s]
 	if len(q) == 0 {
-		return
+		return false
 	}
 	if len(q) == 1 {
-		delete(p.queues, s)
+		delete(sh.queues, s)
 	} else {
-		p.queues[s] = q[1:]
+		sh.queues[s] = q[1:]
 	}
 	it := &item{tx: q[0]}
+	p.heapMu.Lock()
 	heap.Push(&p.heap, it)
-	p.residents[s] = it
+	p.heapMu.Unlock()
+	sh.resident[s] = it
+	return true
 }
 
-// insert places tx as resident or into the queue (lock held). A sender with
-// an in-flight transaction never gets a resident: its successors would only
-// fail the nonce check until the in-flight one settles.
-func (p *Pool) insert(tx *types.Transaction) {
+// insert places tx into the sender's pending set (shard lock held): the tx
+// joins the nonce queue, a resident that it displaces is demoted, and the
+// lowest queued nonce is promoted into the heap when the sender is
+// unblocked. Reports whether a heap push happened.
+func (p *Pool) insert(sh *senderShard, tx *types.Transaction) bool {
 	s := tx.From
-	if p.inFlight[s] > 0 {
-		p.queueInsert(s, tx)
-		return
+	if sh.blocked(s) {
+		// A sender with an in-flight transaction never gets a resident: its
+		// successors would only fail the nonce check until it settles.
+		queueInsert(sh, s, tx)
+		return false
 	}
-	res := p.residents[s]
-	if res == nil {
-		it := &item{tx: tx}
-		heap.Push(&p.heap, it)
-		p.residents[s] = it
-		return
-	}
-	if tx.Nonce < res.tx.Nonce {
-		// Demote the current resident to the queue and take its place.
+	if res := sh.resident[s]; res != nil {
+		if tx.Nonce >= res.tx.Nonce {
+			queueInsert(sh, s, tx)
+			return false
+		}
+		// Demote the current resident to the queue; the promote below
+		// re-installs the (new) lowest nonce. Re-check popped under the
+		// heap lock: a concurrent PopBatch may have just taken it.
+		p.heapMu.Lock()
+		if res.popped.Load() {
+			p.heapMu.Unlock()
+			queueInsert(sh, s, tx)
+			return false
+		}
 		heap.Remove(&p.heap, res.index)
-		p.queueInsert(s, res.tx)
-		it := &item{tx: tx}
-		heap.Push(&p.heap, it)
-		p.residents[s] = it
-		return
+		p.heapMu.Unlock()
+		delete(sh.resident, s)
+		queueInsert(sh, s, res.tx)
 	}
-	p.queueInsert(s, tx)
+	queueInsert(sh, s, tx)
+	return p.promote(sh, s)
 }
 
-func (p *Pool) queueInsert(s types.Address, tx *types.Transaction) {
-	q := p.queues[s]
+func queueInsert(sh *senderShard, s types.Address, tx *types.Transaction) {
+	q := sh.queues[s]
 	i := sort.Search(len(q), func(i int) bool { return q[i].Nonce >= tx.Nonce })
 	q = append(q, nil)
 	copy(q[i+1:], q[i:])
 	q[i] = tx
-	p.queues[s] = q
+	sh.queues[s] = q
 }
 
 // Pop removes and returns the highest-priced executable transaction, or nil
@@ -224,18 +389,59 @@ func (p *Pool) queueInsert(s types.Address, tx *types.Transaction) {
 // blocked (its next nonce stays queued) until the caller settles the pop
 // with Done or Requeue.
 func (p *Pool) Pop() *types.Transaction {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.heap.Len() == 0 {
+	var buf [1]*types.Transaction
+	if n := p.popBatch(buf[:]); n == 1 {
+		return buf[0]
+	}
+	return nil
+}
+
+// PopBatch removes and returns up to n executable transactions (highest
+// price first) under one heap-lock acquisition. Every returned transaction
+// is from a distinct sender (the one-resident-per-sender invariant), and
+// each must be settled with Done or Requeue. Returns nil when nothing is
+// executable.
+func (p *Pool) PopBatch(n int) []*types.Transaction {
+	if n < 1 {
+		n = 1
+	}
+	buf := make([]*types.Transaction, n)
+	got := p.popBatch(buf)
+	if got == 0 {
 		return nil
 	}
-	it := heap.Pop(&p.heap).(*item)
-	p.count--
-	telemetry.MempoolPending.Set(int64(p.count))
-	s := it.tx.From
-	delete(p.residents, s)
-	p.inFlight[s]++
-	return it.tx
+	telemetry.MempoolPopBatchSize.Observe(uint64(got))
+	return buf[:got]
+}
+
+// popBatch fills buf with popped transactions and returns how many.
+func (p *Pool) popBatch(buf []*types.Transaction) int {
+	items := make([]*item, 0, len(buf))
+	p.heapMu.Lock()
+	for len(items) < len(buf) && p.heap.Len() > 0 {
+		it := heap.Pop(&p.heap).(*item)
+		it.popped.Store(true)
+		items = append(items, it)
+	}
+	p.heapMu.Unlock()
+	if len(items) == 0 {
+		return 0
+	}
+	// Settle the sender shards: mark in flight, clear the resident pointer.
+	for i, it := range items {
+		s := it.tx.From
+		sh := p.shardOf(s)
+		sh.mu.Lock()
+		sh.inFlight[s]++
+		if sh.resident[s] == it {
+			delete(sh.resident, s)
+		}
+		sh.mu.Unlock()
+		buf[i] = it.tx
+	}
+	p.count.Add(int64(-len(items)))
+	telemetry.MempoolPending.Set(p.count.Load())
+	return len(items)
 }
 
 // priceHeap orders items by gas price (descending), breaking ties by nonce

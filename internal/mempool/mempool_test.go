@@ -2,6 +2,7 @@ package mempool
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"blockpilot/internal/types"
@@ -261,6 +262,237 @@ func TestReplacementInQueue(t *testing.T) {
 	if p.Len() != 0 {
 		t.Fatalf("Len = %d", p.Len())
 	}
+}
+
+// TestPopBatchEquivalence: a PopBatch(1) drain must reproduce the Pop drain
+// order exactly, and larger batches must drain the same transaction set.
+// (Batches larger than 1 legitimately produce a different global order: a
+// batch claims the executable frontier before any settle, so a sender's
+// successor cannot ride in the same batch even if it outprices other
+// senders' heads — Pop+Done promotes it between pops.)
+func TestPopBatchEquivalence(t *testing.T) {
+	build := func() *Pool {
+		p := New()
+		for s := byte(1); s <= 20; s++ {
+			for n := uint64(0); n < 5; n++ {
+				p.Add(tx(s, n, uint64(s)*7+n*3))
+			}
+		}
+		return p
+	}
+	drain := func(p *Pool, batch int) []types.Hash {
+		var order []types.Hash
+		for {
+			var got []*types.Transaction
+			if batch == 0 { // plain Pop reference
+				one := p.Pop()
+				if one != nil {
+					got = []*types.Transaction{one}
+				}
+			} else {
+				got = p.PopBatch(batch)
+			}
+			if len(got) == 0 {
+				break
+			}
+			for _, x := range got {
+				order = append(order, x.Hash())
+			}
+			p.DoneBatch(got)
+		}
+		return order
+	}
+	ref := drain(build(), 0)
+	one := drain(build(), 1)
+	if len(one) != len(ref) {
+		t.Fatalf("PopBatch(1) drained %d txs, Pop drained %d", len(one), len(ref))
+	}
+	for i := range ref {
+		if one[i] != ref[i] {
+			t.Fatalf("PopBatch(1) diverges from Pop order at position %d", i)
+		}
+	}
+	refSet := make(map[types.Hash]bool, len(ref))
+	for _, h := range ref {
+		refSet[h] = true
+	}
+	for _, batch := range []int{2, 4, 16} {
+		got := drain(build(), batch)
+		if len(got) != len(ref) {
+			t.Fatalf("batch %d drained %d txs, want %d", batch, len(got), len(ref))
+		}
+		for i, h := range got {
+			if !refSet[h] {
+				t.Fatalf("batch %d drained unknown tx at position %d", batch, i)
+			}
+		}
+	}
+}
+
+// TestPopBatchNonceOrder: across an entire batched drain, each sender's
+// transactions must surface in strictly ascending nonce order, and one batch
+// must never contain two transactions from one sender (the successor only
+// becomes executable after the predecessor settles).
+func TestPopBatchNonceOrder(t *testing.T) {
+	p := New()
+	const senders, noncesEach = 32, 8
+	for s := byte(1); s <= senders; s++ {
+		// Insert nonces out of order with adversarial prices (higher nonce,
+		// higher price) to tempt the heap into reordering.
+		for n := noncesEach - 1; n >= 0; n-- {
+			p.Add(tx(s, uint64(n), uint64(100+n*10)))
+		}
+	}
+	lastNonce := make(map[types.Address]int)
+	total := 0
+	for {
+		got := p.PopBatch(6)
+		if len(got) == 0 {
+			break
+		}
+		inBatch := make(map[types.Address]bool)
+		for _, x := range got {
+			if inBatch[x.From] {
+				t.Fatalf("two txs from %s in one batch", x.From)
+			}
+			inBatch[x.From] = true
+			want, seen := lastNonce[x.From]
+			if !seen {
+				want = 0
+			}
+			if int(x.Nonce) != want {
+				t.Fatalf("sender %s popped nonce %d, want %d", x.From, x.Nonce, want)
+			}
+			lastNonce[x.From] = want + 1
+		}
+		total += len(got)
+		p.DoneBatch(got)
+	}
+	if total != senders*noncesEach {
+		t.Fatalf("drained %d, want %d", total, senders*noncesEach)
+	}
+}
+
+// TestRequeueBatch: a requeued batch must be fully poppable again with
+// per-sender nonce order and price order intact (heap invariants survive).
+func TestRequeueBatch(t *testing.T) {
+	p := New()
+	p.Add(tx(1, 0, 10))
+	p.Add(tx(1, 1, 80))
+	p.Add(tx(2, 0, 30))
+	p.Add(tx(3, 0, 20))
+	first := p.PopBatch(3) // s2@30, s3@20, s1/n0@10
+	if len(first) != 3 {
+		t.Fatalf("popped %d, want 3", len(first))
+	}
+	p.RequeueBatch(first)
+	if p.Len() != 4 {
+		t.Fatalf("Len after requeue = %d, want 4", p.Len())
+	}
+	// Same executable frontier again, in price order.
+	for _, want := range []uint64{30, 20, 10} {
+		got := popDone(p)
+		if got == nil || got.GasPrice.Uint64() != want {
+			t.Fatalf("post-requeue pop = %v, want price %d", got, want)
+		}
+	}
+	// s1's nonce-1 unlocks only now.
+	got := popDone(p)
+	if got == nil || got.Nonce != 1 || got.GasPrice.Uint64() != 80 {
+		t.Fatalf("chained successor = %+v", got)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+// TestPopBatchConcurrent hammers batched claim/requeue/settle from many
+// goroutines (run with -race): no duplicates, no losses, per-sender order.
+func TestPopBatchConcurrent(t *testing.T) {
+	p := New()
+	const senders, noncesEach = 64, 16
+	for s := 0; s < senders; s++ {
+		for n := uint64(0); n < noncesEach; n++ {
+			p.Add(tx(byte(s+1), n, uint64(s*3+int(n)%13)))
+		}
+	}
+	var mu sync.Mutex
+	seen := make(map[types.Hash]bool)
+	lastNonce := make(map[types.Address]uint64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			misses := 0
+			for {
+				got := p.PopBatch(1 + w%4)
+				if len(got) == 0 {
+					misses++
+					if misses > 1000 && p.Len() == 0 {
+						return
+					}
+					continue
+				}
+				misses = 0
+				// Occasionally requeue the tail to exercise RequeueBatch
+				// under contention.
+				settle := got
+				if len(got) > 1 && w%2 == 0 {
+					settle = got[:len(got)-1]
+					p.RequeueBatch(got[len(got)-1:])
+				}
+				mu.Lock()
+				for _, x := range settle {
+					if seen[x.Hash()] {
+						t.Error("duplicate settle")
+					}
+					seen[x.Hash()] = true
+					if prev, ok := lastNonce[x.From]; ok && x.Nonce != prev+1 {
+						t.Errorf("sender %s settled nonce %d after %d", x.From, x.Nonce, prev)
+					}
+					lastNonce[x.From] = x.Nonce
+				}
+				mu.Unlock()
+				p.DoneBatch(settle)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(seen) != senders*noncesEach {
+		t.Fatalf("settled %d, want %d", len(seen), senders*noncesEach)
+	}
+}
+
+// TestExecutableHook: the hook must fire when new work becomes executable
+// (Add, Requeue, and Done-promotes-successor), never while pool locks are
+// held (calling back into the pool must not deadlock).
+func TestExecutableHook(t *testing.T) {
+	p := New()
+	var fires atomic.Int64
+	p.SetExecutableHook(func() {
+		fires.Add(1)
+		_ = p.Executable() // reentrancy: must not deadlock
+	})
+	p.Add(tx(1, 0, 10))
+	if fires.Load() == 0 {
+		t.Fatal("hook did not fire on Add")
+	}
+	p.Add(tx(1, 1, 10)) // queued, not executable: no requirement either way
+	a := p.Pop()
+	base := fires.Load()
+	p.Done(a) // promotes nonce 1 to executable
+	if fires.Load() == base {
+		t.Fatal("hook did not fire when Done promoted a successor")
+	}
+	b := p.Pop()
+	base = fires.Load()
+	p.Requeue(b)
+	if fires.Load() == base {
+		t.Fatal("hook did not fire on Requeue")
+	}
+	p.SetExecutableHook(nil)
+	popDone(p)
 }
 
 func BenchmarkPoolPopRequeue(b *testing.B) {

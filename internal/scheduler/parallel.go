@@ -1,0 +1,212 @@
+// Parallel preparation: BuildComponentsParallel is the multi-threaded
+// version of the validator's dependency-graph construction. It partitions
+// the block profile across workers (each builds key→toucher lists for its
+// transaction range, sharded by key hash), then merges the shards in
+// parallel into a lock-free union-find, and finally materializes the
+// components sequentially. The output is bit-for-bit identical to
+// BuildComponents: components appear in block order of their first
+// transaction, with ascending TxIndices.
+package scheduler
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"blockpilot/internal/types"
+)
+
+// parallelBuildMinTxs is the block size below which the serial builder is
+// used: goroutine fan-out costs more than it saves on small graphs.
+const parallelBuildMinTxs = 48
+
+// concUF is a lock-free union-find over tx indices. Roots are linked by
+// CAS with the min-index root winning, so parent pointers strictly
+// decrease — no cycles, and the final root of every component is its
+// minimum member (which is also what materialization ordering relies on).
+type concUF struct {
+	parent []atomic.Int32
+}
+
+func newConcUF(n int) *concUF {
+	u := &concUF{parent: make([]atomic.Int32, n)}
+	for i := range u.parent {
+		u.parent[i].Store(int32(i))
+	}
+	return u
+}
+
+// find returns x's current root, halving paths with benign CAS updates.
+func (u *concUF) find(x int32) int32 {
+	for {
+		p := u.parent[x].Load()
+		if p == x {
+			return x
+		}
+		gp := u.parent[p].Load()
+		if gp != p {
+			// Path halving; losing the CAS is fine (someone else helped).
+			u.parent[x].CompareAndSwap(p, gp)
+		}
+		x = p
+	}
+}
+
+// union links the components of a and b (min root wins).
+func (u *concUF) union(a, b int32) {
+	for {
+		ra, rb := u.find(a), u.find(b)
+		if ra == rb {
+			return
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		if u.parent[rb].CompareAndSwap(rb, ra) {
+			return
+		}
+	}
+}
+
+// shardedTouch is keyTouch plus the worker-partitioned build state.
+type shardedTouch struct {
+	touchers  []int32
+	hasWriter bool
+}
+
+// keyShard hashes a state key to one of n shards (FNV-1a + Fibonacci mix,
+// matching the stripe hash used across the repo).
+func keyShard(k *types.StateKey, n int) int {
+	h := uint64(14695981039346656037)
+	for _, b := range k.Addr {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	if k.Kind == types.KeyStorage {
+		for _, b := range k.Slot {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+	}
+	return int((h * 0x9E3779B97F4A7C15) >> 32 % uint64(n))
+}
+
+// BuildComponentsParallel is BuildComponents with a parallel partition +
+// merge pass (paper §4.3 preparation, unserialized): workers scan disjoint
+// transaction ranges, the key space is sharded so each shard's unions are
+// merged by exactly one worker, and conflicting unions across shards are
+// reconciled by the lock-free union-find. Falls back to the serial builder
+// for small blocks or workers < 2. The result is identical to
+// BuildComponents(profile, accountLevel).
+func BuildComponentsParallel(profile *types.BlockProfile, accountLevel bool, workers int) []Component {
+	n := len(profile.Txs)
+	if workers < 2 || n < parallelBuildMinTxs {
+		return BuildComponents(profile, accountLevel)
+	}
+	if workers > n/8 {
+		workers = n / 8 // keep ≥8 txs per worker
+	}
+	if workers < 2 {
+		return BuildComponents(profile, accountLevel)
+	}
+
+	norm := func(k types.StateKey) types.StateKey {
+		if accountLevel {
+			return types.AccountKey(k.Addr)
+		}
+		return k
+	}
+
+	// Phase 1 — parallel scan: worker w covers tx range [lo, hi) and files
+	// every touch into its private per-shard map, so phase 2 can merge
+	// shard s by visiting locals[*][s] only (no cross-worker locking).
+	locals := make([][]map[types.StateKey]*shardedTouch, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		locals[w] = make([]map[types.StateKey]*shardedTouch, workers)
+		for s := range locals[w] {
+			locals[w][s] = make(map[types.StateKey]*shardedTouch)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			mine := locals[w]
+			touch := func(tx int32, k types.StateKey, write bool) {
+				shard := mine[keyShard(&k, workers)]
+				t := shard[k]
+				if t == nil {
+					t = &shardedTouch{}
+					shard[k] = t
+				}
+				if len(t.touchers) == 0 || t.touchers[len(t.touchers)-1] != tx {
+					t.touchers = append(t.touchers, tx)
+				}
+				t.hasWriter = t.hasWriter || write
+			}
+			for i := lo; i < hi; i++ {
+				tp := profile.Txs[i]
+				for _, kv := range tp.Reads {
+					touch(int32(i), norm(kv.Key), false)
+				}
+				for _, k := range tp.Writes {
+					touch(int32(i), norm(k), true)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Phase 2 — parallel merge: worker s owns key shard s across every
+	// local map; for each key with a writer it unions all touchers into
+	// the shared lock-free union-find. Unions from different shards may
+	// race on common transactions; the CAS loop makes that safe.
+	uf := newConcUF(n)
+	for s := 0; s < workers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			merged := make(map[types.StateKey]shardedTouch)
+			for w := 0; w < workers; w++ {
+				for k, t := range locals[w][s] {
+					m := merged[k]
+					m.hasWriter = m.hasWriter || t.hasWriter
+					m.touchers = append(m.touchers, t.touchers...)
+					merged[k] = m
+				}
+			}
+			for _, t := range merged {
+				if !t.hasWriter || len(t.touchers) < 2 {
+					continue // read-only key, or a single toucher
+				}
+				for i := 1; i < len(t.touchers); i++ {
+					uf.union(t.touchers[0], t.touchers[i])
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// Phase 3 — sequential materialization in deterministic (block) order,
+	// identical to the serial builder's.
+	byRoot := make(map[int32]*Component)
+	var order []int32
+	for i := 0; i < n; i++ {
+		r := uf.find(int32(i))
+		c := byRoot[r]
+		if c == nil {
+			c = &Component{}
+			byRoot[r] = c
+			order = append(order, r)
+		}
+		c.TxIndices = append(c.TxIndices, i)
+		c.Gas += profile.Txs[i].GasUsed
+	}
+	out := make([]Component, 0, len(order))
+	for _, r := range order {
+		out = append(out, *byRoot[r])
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blockpilot/internal/types"
+)
+
+// randomProfile builds a block profile with nTxs transactions over a pool of
+// nAccounts accounts: each tx reads/writes a few random account and storage
+// keys, with a handful of hot keys to force multi-tx components.
+func randomProfile(rng *rand.Rand, nTxs, nAccounts int) *types.BlockProfile {
+	bp := &types.BlockProfile{}
+	for i := 0; i < nTxs; i++ {
+		s := types.NewAccessSet()
+		touches := 1 + rng.Intn(4)
+		for t := 0; t < touches; t++ {
+			var a byte
+			if rng.Intn(4) == 0 {
+				a = byte(1 + rng.Intn(3)) // hot account
+			} else {
+				a = byte(1 + rng.Intn(nAccounts))
+			}
+			addr := types.BytesToAddress([]byte{a})
+			var k types.StateKey
+			if rng.Intn(2) == 0 {
+				k = types.AccountKey(addr)
+			} else {
+				k = types.StorageKey(addr, types.BytesToHash([]byte{byte(rng.Intn(6))}))
+			}
+			if rng.Intn(3) == 0 {
+				s.NoteWrite(k)
+			} else {
+				s.NoteRead(k, 0)
+			}
+		}
+		bp.Txs = append(bp.Txs, types.ProfileFromAccessSet(s, uint64(21000+rng.Intn(200000))))
+	}
+	return bp
+}
+
+func sameComponents(a, b []Component) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Gas != b[i].Gas || len(a[i].TxIndices) != len(b[i].TxIndices) {
+			return false
+		}
+		for j := range a[i].TxIndices {
+			if a[i].TxIndices[j] != b[i].TxIndices[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestBuildComponentsParallelParity: the parallel builder must be
+// bit-for-bit identical to the serial one — same components, same order,
+// same TxIndices ordering, same gas — across profile sizes (straddling the
+// serial-fallback threshold), granularities and worker counts.
+func TestBuildComponentsParallelParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, nTxs := range []int{0, 1, 16, parallelBuildMinTxs, 97, 256, 600} {
+		for _, accountLevel := range []bool{true, false} {
+			for _, workers := range []int{2, 3, 4, 8} {
+				for trial := 0; trial < 3; trial++ {
+					bp := randomProfile(rng, nTxs, 40)
+					want := BuildComponents(bp, accountLevel)
+					got := BuildComponentsParallel(bp, accountLevel, workers)
+					if !sameComponents(want, got) {
+						t.Fatalf("parity failure: nTxs=%d accountLevel=%v workers=%d trial=%d\nserial: %+v\nparallel: %+v",
+							nTxs, accountLevel, workers, trial, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildComponentsParallelDeterminism: repeated parallel builds of one
+// profile must agree with each other (the racing unions must not leak into
+// the output).
+func TestBuildComponentsParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	bp := randomProfile(rng, 300, 30)
+	ref := BuildComponentsParallel(bp, true, 8)
+	for i := 0; i < 20; i++ {
+		got := BuildComponentsParallel(bp, true, 8)
+		if !sameComponents(ref, got) {
+			t.Fatalf("run %d diverged from run 0", i)
+		}
+	}
+}
+
+// TestConcUF exercises the lock-free union-find directly: after arbitrary
+// unions, find must be consistent (same root for united members) and the
+// root must be the minimum member of its component.
+func TestConcUF(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 500
+	u := newConcUF(n)
+	ref := newUnionFind(n)
+	for i := 0; i < 2000; i++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		u.union(a, b)
+		ref.union(int(a), int(b))
+	}
+	// Group reference roots and concurrent roots; partitions must agree and
+	// every concUF root must be its component's minimum element.
+	minOf := make(map[int]int32)
+	for i := 0; i < n; i++ {
+		r := ref.find(i)
+		if _, ok := minOf[r]; !ok {
+			minOf[r] = int32(i) // first visit in ascending order = min member
+		}
+		if got := u.find(int32(i)); got != minOf[r] {
+			t.Fatalf("element %d: concUF root %d, want min member %d", i, got, minOf[r])
+		}
+	}
+}
+
+func BenchmarkBuildComponents(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	bp := randomProfile(rng, 400, 60)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if workers == 1 {
+					BuildComponents(bp, true)
+				} else {
+					BuildComponentsParallel(bp, true, workers)
+				}
+			}
+		})
+	}
+}

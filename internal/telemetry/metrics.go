@@ -21,6 +21,8 @@ var (
 		"Wall time of one Propose call (block packing).", "ns")
 	ProposerBlockTxs = NewHistogram("blockpilot_proposer_block_txs",
 		"Transactions packed per proposed block.", "")
+	ProposerStripeWaitNs = NewHistogram("blockpilot_proposer_stripe_wait_ns",
+		"Time one TryCommit spent acquiring its MVState stripe locks (lock-convoy probe).", "ns")
 )
 
 // Validator (dependency-graph re-execution, internal/validator).
@@ -72,6 +74,8 @@ var (
 		"Pending transactions in the most recently touched pool.")
 	MempoolReplacements = NewCounter("blockpilot_mempool_replacements_total",
 		"Same-(sender,nonce) transactions replaced by a price-bumped arrival.")
+	MempoolPopBatchSize = NewHistogram("blockpilot_mempool_pop_batch_size",
+		"Executable transactions returned per PopBatch call (lock amortization factor).", "")
 	NetworkMessages = NewCounter("blockpilot_network_messages_total",
 		"Broadcast messages delivered to node inboxes.")
 	NetworkDropped = NewCounter("blockpilot_network_dropped_total",

@@ -128,10 +128,12 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 		return nil, fmt.Errorf("%w: tx root mismatch", ErrBadBlock)
 	}
 
-	// Preparation phase.
+	// Preparation phase. The dependency graph's union-find is built with a
+	// parallel partition+merge pass across the validator's threads, so
+	// preparation stops being serial ahead of the gas-LPT assignment.
 	prepSpan := telemetry.StartSpan("pipeline.prepare", h.Number, telemetry.PipelinePrepareSeconds)
 	graphSpan := telemetry.StartSpan("validator.graph_build", h.Number, telemetry.ValidatorGraphBuildSeconds)
-	components := scheduler.BuildComponents(block.Profile, cfg.AccountLevel)
+	components := scheduler.BuildComponentsParallel(block.Profile, cfg.AccountLevel, cfg.Threads)
 	graphSpan.End()
 	sched := cfg.Assign(components, cfg.Threads)
 	stats := scheduler.ComputeStats(components)
