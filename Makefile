@@ -1,20 +1,26 @@
 # BlockPilot CI entry points. `make ci` is what the tier-1 gate runs:
 # vet + build + full test suite + race detector on the concurrency-heavy
-# packages (OCC-WSI core, mempool, pipeline, telemetry) + a short-mode
-# smoke of the contention benchmark suite.
+# packages (OCC-WSI core, mempool, pipeline, telemetry, flight recorder) +
+# the flight-recorder disabled-path budget gate + a short-mode smoke of the
+# contention benchmark suite.
 #
 # `make bench` records the performance baseline: the contention suite
 # (striped vs single-lock MVState, mempool batching, end-to-end Propose)
-# written to BENCH_proposer.json, plus the Go micro-benchmarks with
-# -benchmem. See docs/PERFORMANCE.md for methodology.
+# written to BENCH_proposer.json, the validator wall-clock suite written to
+# BENCH_validator.json, plus the Go micro-benchmarks with -benchmem. See
+# docs/PERFORMANCE.md for methodology.
+#
+# `make trace-demo` runs a short skewed workload with the flight recorder on
+# and leaves trace.json (open at https://ui.perfetto.dev) plus the hot-key
+# attribution report on stdout. See docs/OBSERVABILITY.md.
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench-smoke bench bench-go telemetry-bench clean
+.PHONY: all ci vet build test race flight-budget bench-smoke bench bench-go telemetry-bench flight-bench trace-demo clean
 
 all: ci
 
-ci: vet build test race bench-smoke
+ci: vet build test race flight-budget bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,23 +32,38 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/mempool/... ./internal/pipeline/... ./internal/telemetry/...
+	$(GO) test -race ./internal/core/... ./internal/mempool/... ./internal/pipeline/... ./internal/telemetry/... ./internal/flight/...
+
+# The flight recorder's zero-cost gate: with no recorder installed the
+# hot-path helpers must stay within the ns budget and allocate nothing.
+flight-budget:
+	$(GO) test -run TestDisabledPathBudget -count=1 ./internal/flight/ ./internal/telemetry/
 
 # Short-mode pass over the contention suite: every code path, seconds of
 # runtime, no artifact written.
 bench-smoke:
 	$(GO) test -short -run TestContentionSmoke ./internal/bench/
 
-# Full baseline: contention suite -> BENCH_proposer.json, then the Go
-# micro-benchmarks (allocation counts via -benchmem).
+# Full baseline: contention suite -> BENCH_proposer.json, validator suite ->
+# BENCH_validator.json, then the Go micro-benchmarks (allocation counts via
+# -benchmem).
 bench: bench-go
 	$(GO) run ./cmd/bpbench -exp contention -telemetry-report=false -bench-out BENCH_proposer.json
+	$(GO) run ./cmd/bpbench -exp validator -telemetry-report=false -bench-out BENCH_validator.json
 
 bench-go:
 	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/bench/ ./internal/scheduler/ ./internal/mempool/
 
 telemetry-bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/telemetry/
+
+flight-bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/flight/
+
+# Flight-recorder walkthrough: a short Zipfian (hotspot) workload with the
+# recorder enabled; writes trace.json and prints the hot-key report.
+trace-demo:
+	$(GO) run ./cmd/bpinspect hotkeys -blocks 3 -threads 8 -swap-ratio 0.85 -pairs 3 -trace-out trace.json
 
 clean:
 	$(GO) clean ./...

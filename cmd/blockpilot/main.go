@@ -12,11 +12,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sync"
 	"time"
@@ -25,6 +27,7 @@ import (
 	"blockpilot/internal/chain"
 	"blockpilot/internal/consensus"
 	"blockpilot/internal/core"
+	"blockpilot/internal/flight"
 	"blockpilot/internal/mempool"
 	"blockpilot/internal/network"
 	"blockpilot/internal/pipeline"
@@ -55,17 +58,32 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload + consensus seed")
 	datadir := flag.String("datadir", "", "persist validator-0's blocks to this directory (optional)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /metrics.json, /trace, /report and /debug/pprof on this address (e.g. :9090)")
+	flightOn := flag.Bool("flight", false, "enable the transaction flight recorder (per-tx lifecycle events + conflict attribution)")
+	flightOut := flag.String("flight-out", "", "write a Perfetto/Chrome trace.json of the run to this path (implies -flight)")
+	flightRing := flag.Int("flight-ring", 0, "flight recorder ring capacity per worker lane (0 = default)")
 	flag.Parse()
 
+	// The HTTP server shuts down when the run finishes or on SIGINT.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *flightOut != "" {
+		*flightOn = true
+	}
+	if *flightOn {
+		flight.Enable(flight.Options{RingCapacity: *flightRing})
+		fmt.Println("flight recorder: enabled")
+	}
+
 	if *telemetryAddr != "" {
-		srv, errc := telemetry.Serve(*telemetryAddr, nil)
+		srv, errc := telemetry.ServeContext(ctx, *telemetryAddr, nil)
 		defer srv.Close()
 		go func() {
 			if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "blockpilot: telemetry server:", err)
 			}
 		}()
-		fmt.Printf("telemetry: serving http://%s/metrics (+ /metrics.json, /trace, /report, /debug/pprof)\n", *telemetryAddr)
+		fmt.Printf("telemetry: serving http://%s/metrics (+ /healthz, /metrics.json, /trace, /report, /flight/*, /debug/pprof)\n", *telemetryAddr)
 	}
 
 	var store *blockdb.Store
@@ -246,6 +264,26 @@ func main() {
 			s.Counter("blockpilot_proposer_reserve_conflicts_total"),
 			s.Counter("blockpilot_validator_blocks_total"),
 			s.Counter("blockpilot_validator_rejects_total"))
+	}
+	if rec := flight.Active(); rec != nil {
+		fmt.Printf("flight recorder: %d events buffered\n", rec.Total())
+		fmt.Print(rec.Attribution(10).Render())
+		if *flightOut != "" {
+			f, err := os.Create(*flightOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "blockpilot: flight-out:", err)
+				os.Exit(1)
+			}
+			werr := rec.WriteTrace(f, telemetry.Default().Tracer().Events())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "blockpilot: flight-out:", werr)
+				os.Exit(1)
+			}
+			fmt.Printf("flight recorder: wrote %s (open at https://ui.perfetto.dev)\n", *flightOut)
+		}
 	}
 	for _, n := range nodes {
 		if n.chain.Height() != nodes[0].chain.Height() {

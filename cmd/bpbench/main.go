@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention")
+	exp := flag.String("exp", "all", "experiment: all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention|validator")
 	blocks := flag.Int("blocks", 20, "blocks per experiment")
 	repeats := flag.Int("repeats", 3, "timing repeats per point")
 	mode := flag.String("mode", "virtual", "timing mode: virtual|wall")
@@ -130,8 +130,25 @@ func main() {
 			fmt.Printf("wrote %s\n", *benchOut)
 		}
 	}
+	// The validator wall-clock suite, like contention, measures real elapsed
+	// time and is excluded from "all"; run it explicitly with -exp validator.
+	if *exp == "validator" {
+		ran = true
+		vo := bench.DefaultValidatorBenchOptions()
+		if *quick {
+			vo = bench.QuickValidatorBenchOptions()
+		}
+		vo.Seed = *seed
+		res, err := bench.RunValidatorBench(vo)
+		fatalIf(err)
+		fmt.Println(res.Render())
+		if *benchOut != "" {
+			fatalIf(res.WriteJSON(*benchOut))
+			fmt.Printf("wrote %s\n", *benchOut)
+		}
+	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q; want one of all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention", *exp))
+		fatal(fmt.Errorf("unknown experiment %q; want one of all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention|validator", *exp))
 	}
 
 	// End-of-run telemetry: machine-readable snapshot (-json) so BENCH_*.json

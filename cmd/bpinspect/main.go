@@ -12,6 +12,14 @@
 //
 //	bpinspect telemetry -addr localhost:9090  # scrape a live node
 //	bpinspect telemetry -blocks 4 -threads 8  # local collection
+//
+// The `hotkeys` and `txtrace` subcommands read the transaction flight
+// recorder — conflict attribution (hot keys, hot senders, stripe skew) and
+// per-transaction lifecycle timelines — from a live node's /flight
+// endpoints or from a short local run:
+//
+//	bpinspect hotkeys -blocks 3 -swap-ratio 0.9 -pairs 2
+//	bpinspect txtrace -addr localhost:9090 0x3fa2
 package main
 
 import (
@@ -29,9 +37,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "telemetry" {
-		telemetryMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "telemetry":
+			telemetryMain(os.Args[2:])
+			return
+		case "hotkeys":
+			hotkeysMain(os.Args[2:])
+			return
+		case "txtrace":
+			txtraceMain(os.Args[2:])
+			return
+		}
 	}
 	blocks := flag.Int("blocks", 2, "blocks to inspect")
 	threads := flag.Int("threads", 16, "scheduler thread count")

@@ -43,7 +43,7 @@ func telemetryMain(args []string) {
 	}
 
 	telemetry.Enable()
-	if err := collectLocal(*blocks, *threads, *txPerBlock, *seed); err != nil {
+	if err := collectLocal(*blocks, *threads, *txPerBlock, *seed, -1, -1); err != nil {
 		fmt.Fprintln(os.Stderr, "bpinspect telemetry:", err)
 		os.Exit(1)
 	}
@@ -76,11 +76,20 @@ func scrapeSnapshot(addr string) (*telemetry.Snapshot, error) {
 }
 
 // collectLocal drives the full proposer → pipeline path over a generated
-// workload so every hot-path metric fires at least once.
-func collectLocal(blocks, threads, txPerBlock int, seed int64) error {
+// workload so every hot-path metric fires at least once. swapRatio and pairs
+// override the workload's hotspot contention knobs when non-negative
+// (swapRatio in [0,1], pairs ≥ 1) — the flight subcommands use them to force
+// a skewed conflict distribution.
+func collectLocal(blocks, threads, txPerBlock int, seed int64, swapRatio float64, pairs int) error {
 	cfg := workload.Default()
 	cfg.Seed = seed
 	cfg.TxPerBlock = txPerBlock
+	if swapRatio >= 0 {
+		cfg.SwapRatio = swapRatio
+	}
+	if pairs > 0 {
+		cfg.NumPairs = pairs
+	}
 	gen := workload.New(cfg)
 	params := chain.DefaultParams()
 	proposerChain := chain.NewChain(gen.GenesisState(), params)

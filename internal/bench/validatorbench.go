@@ -1,0 +1,251 @@
+// Validator-side wall-clock benchmark suite (the validator counterpart to
+// the contention suite): measures dependency-graph parallel re-execution —
+// ValidateParallel across thread counts against the serial re-execution
+// baseline, on the default mainnet-like workload and on a skewed hotspot
+// workload. `make bench` runs this via
+// `bpbench -exp validator -bench-out BENCH_validator.json` so validator-side
+// changes have a trajectory to compare against.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"blockpilot/internal/chain"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/validator"
+	"blockpilot/internal/workload"
+)
+
+// ValidatorBenchOptions sizes the validator wall-clock suite.
+type ValidatorBenchOptions struct {
+	Blocks     int   // blocks per workload
+	TxPerBlock int   // transactions per block
+	Threads    []int // validator thread sweep
+	Repeats    int   // timing repeats per point (best-of)
+	Seed       int64
+	// HotspotSwapRatio / HotspotPairs define the skewed workload point
+	// (most transactions hammering a few AMM pairs).
+	HotspotSwapRatio float64
+	HotspotPairs     int
+}
+
+// DefaultValidatorBenchOptions is the `make bench` configuration.
+func DefaultValidatorBenchOptions() ValidatorBenchOptions {
+	return ValidatorBenchOptions{
+		Blocks:           8,
+		TxPerBlock:       132,
+		Threads:          []int{1, 2, 4, 8, 16},
+		Repeats:          3,
+		Seed:             1,
+		HotspotSwapRatio: 0.9,
+		HotspotPairs:     2,
+	}
+}
+
+// QuickValidatorBenchOptions is the CI smoke configuration.
+func QuickValidatorBenchOptions() ValidatorBenchOptions {
+	return ValidatorBenchOptions{
+		Blocks:           2,
+		TxPerBlock:       64,
+		Threads:          []int{1, 4},
+		Repeats:          1,
+		Seed:             1,
+		HotspotSwapRatio: 0.9,
+		HotspotPairs:     2,
+	}
+}
+
+// ValidatorPoint is one (workload, threads) measurement: wall time to
+// re-validate the whole prepared chain.
+type ValidatorPoint struct {
+	Workload   string  `json:"workload"` // "default" | "hotspot"
+	Threads    int     `json:"threads"`
+	Blocks     int     `json:"blocks"`
+	Txs        int     `json:"txs"`
+	ElapsedMs  float64 `json:"elapsed_ms"` // fastest repeat, all blocks
+	TxsPerSec  float64 `json:"txs_per_sec"`
+	Subgraphs  float64 `json:"mean_subgraphs"`    // mean per block
+	LargestPct float64 `json:"mean_largest_pct"`  // mean largest-component share
+	Speedup    float64 `json:"speedup_vs_serial"` // serial re-exec ÷ this point
+}
+
+// ValidatorBenchResult is the suite's outcome — the BENCH_validator.json
+// trajectory payload.
+type ValidatorBenchResult struct {
+	TakenAt    time.Time          `json:"taken_at"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	SerialMs   map[string]float64 `json:"serial_ms"` // workload → serial baseline
+	Points     []ValidatorPoint   `json:"points"`
+
+	// DefaultSpeedupAt8 is serial ÷ ValidateParallel wall time at 8 threads
+	// on the default workload (meaningful only on a multicore host).
+	DefaultSpeedupAt8 float64 `json:"default_speedup_at_8_threads,omitempty"`
+}
+
+// chainEntry is one pre-built block with its validation context.
+type chainEntry struct {
+	parentState  *state.Snapshot
+	parentHeader *types.Header
+	block        *types.Block
+}
+
+// buildBenchChain executes Blocks sequentially with the serial reference
+// executor (so the profiles are exact) and seals them into a chain.
+func buildBenchChain(o ValidatorBenchOptions, cfg workload.Config) ([]chainEntry, int, error) {
+	gen := workload.New(cfg)
+	st := gen.GenesisState()
+	params := chain.DefaultParams()
+	parentHeader := &types.Header{Number: 0, StateRoot: st.Root(), GasLimit: params.GasLimit}
+	coinbase := types.HexToAddress("0xc01bbace")
+
+	var entries []chainEntry
+	txCount := 0
+	for b := 0; b < o.Blocks; b++ {
+		txs := gen.NextBlockTxs()
+		header := &types.Header{
+			ParentHash: parentHeader.Hash(), Number: parentHeader.Number + 1,
+			Coinbase: coinbase, GasLimit: params.GasLimit, Time: uint64(b + 1),
+		}
+		res, err := chain.ExecuteSerial(st, header, txs, params)
+		if err != nil {
+			return nil, 0, fmt.Errorf("build block %d: %w", b+1, err)
+		}
+		block := chain.SealBlock(parentHeader, coinbase, uint64(b+1), txs, res, params)
+		entries = append(entries, chainEntry{parentState: st, parentHeader: parentHeader, block: block})
+		txCount += len(txs)
+		st = res.State
+		parentHeader = &block.Header
+	}
+	return entries, txCount, nil
+}
+
+// RunValidatorBench runs the suite.
+func RunValidatorBench(o ValidatorBenchOptions) (*ValidatorBenchResult, error) {
+	res := &ValidatorBenchResult{
+		TakenAt:    time.Now().UTC(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		SerialMs:   map[string]float64{},
+	}
+	params := chain.DefaultParams()
+
+	workloads := []struct {
+		name string
+		cfg  workload.Config
+	}{}
+	base := workload.Default()
+	base.Seed = o.Seed
+	base.TxPerBlock = o.TxPerBlock
+	hot := base
+	hot.SwapRatio = o.HotspotSwapRatio
+	hot.NumPairs = o.HotspotPairs
+	workloads = append(workloads,
+		struct {
+			name string
+			cfg  workload.Config
+		}{"default", base},
+		struct {
+			name string
+			cfg  workload.Config
+		}{"hotspot", hot},
+	)
+
+	for _, w := range workloads {
+		entries, txCount, err := buildBenchChain(o, w.cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		// Serial re-execution baseline: best-of-Repeats over the whole chain.
+		serial := time.Duration(1<<63 - 1)
+		for r := 0; r < o.Repeats; r++ {
+			start := time.Now()
+			for _, e := range entries {
+				if _, err := chain.VerifyBlockSerial(e.parentState, e.parentHeader, e.block, params); err != nil {
+					return nil, fmt.Errorf("serial verify %s block %d: %w", w.name, e.block.Header.Number, err)
+				}
+			}
+			if d := time.Since(start); d < serial {
+				serial = d
+			}
+		}
+		res.SerialMs[w.name] = float64(serial.Nanoseconds()) / 1e6
+
+		for _, threads := range o.Threads {
+			best := time.Duration(1<<63 - 1)
+			var meanSubgraphs, meanLargest float64
+			for r := 0; r < o.Repeats; r++ {
+				start := time.Now()
+				var subgraphs, largest float64
+				for _, e := range entries {
+					vres, err := validator.ValidateParallel(e.parentState, e.parentHeader, e.block, validator.DefaultConfig(threads), params)
+					if err != nil {
+						return nil, fmt.Errorf("validate %s (threads=%d) block %d: %w", w.name, threads, e.block.Header.Number, err)
+					}
+					subgraphs += float64(vres.Stats.ComponentCount)
+					largest += vres.Stats.LargestRatio
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+				meanSubgraphs = subgraphs / float64(len(entries))
+				meanLargest = largest / float64(len(entries)) * 100
+			}
+			p := ValidatorPoint{
+				Workload:   w.name,
+				Threads:    threads,
+				Blocks:     len(entries),
+				Txs:        txCount,
+				ElapsedMs:  float64(best.Nanoseconds()) / 1e6,
+				Subgraphs:  meanSubgraphs,
+				LargestPct: meanLargest,
+			}
+			if s := best.Seconds(); s > 0 {
+				p.TxsPerSec = float64(txCount) / s
+			}
+			if p.ElapsedMs > 0 {
+				p.Speedup = res.SerialMs[w.name] / p.ElapsedMs
+			}
+			res.Points = append(res.Points, p)
+			if w.name == "default" && threads == 8 {
+				res.DefaultSpeedupAt8 = p.Speedup
+			}
+		}
+	}
+	return res, nil
+}
+
+// WriteJSON persists the result (the BENCH_validator.json trajectory file).
+func (r *ValidatorBenchResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Render prints the suite as text tables.
+func (r *ValidatorBenchResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Validator wall-clock suite — GOMAXPROCS=%d, NumCPU=%d (speedups need a multicore host)\n\n",
+		r.GOMAXPROCS, r.NumCPU)
+	fmt.Fprintf(&b, "  %-8s %8s %8s %10s %10s %10s %12s\n",
+		"workload", "threads", "txs/s", "chain ms", "subgraphs", "largest", "vs serial")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-8s %8d %8.0f %10.1f %10.1f %9.0f%% %11.2fx\n",
+			p.Workload, p.Threads, p.TxsPerSec, p.ElapsedMs, p.Subgraphs, p.LargestPct, p.Speedup)
+	}
+	for _, name := range []string{"default", "hotspot"} {
+		if ms, ok := r.SerialMs[name]; ok {
+			fmt.Fprintf(&b, "  serial re-execution baseline (%s): %.1f ms\n", name, ms)
+		}
+	}
+	return b.String()
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"blockpilot/internal/crypto"
+	"blockpilot/internal/flight"
 	"blockpilot/internal/state"
 	"blockpilot/internal/telemetry"
 	"blockpilot/internal/types"
@@ -213,20 +214,40 @@ func (mv *MVState) unlockStripes(set uint64) {
 	}
 }
 
+// CommitConflict describes why a TryCommitEx attempt aborted: the stale read
+// key, the committed version that overwrote it (the "winner"), and the
+// MVState stripe the key hashes to. It feeds the flight recorder's conflict
+// attribution; a zero value means no conflict.
+type CommitConflict struct {
+	Key    types.StateKey
+	Winner types.Version
+	Stripe int
+}
+
 // TryCommit implements Algorithm 1's DetectConflict + commit: it validates
 // the access set against the reserve table and, when clean, installs the
 // write set as the next version and updates the reserve table. It returns
 // the assigned version (the transaction's sequence in the block) and
 // whether the commit succeeded.
+func (mv *MVState) TryCommit(access *types.AccessSet, cs *state.ChangeSet) (types.Version, bool) {
+	v, _, ok := mv.TryCommitEx(access, cs)
+	return v, ok
+}
+
+// TryCommitEx is TryCommit plus conflict attribution: on abort it reports
+// which read key was stale, the reserve-table version that beat it, and the
+// stripe that key lives on.
 //
 // Only the stripes the transaction's access set and change set touch are
 // locked; commits on disjoint stripe sets proceed fully in parallel.
-func (mv *MVState) TryCommit(access *types.AccessSet, cs *state.ChangeSet) (types.Version, bool) {
+func (mv *MVState) TryCommitEx(access *types.AccessSet, cs *state.ChangeSet) (types.Version, CommitConflict, bool) {
 	set := mv.commitStripes(access, cs)
-	if telemetry.Enabled() {
+	if telemetry.Enabled() || flight.Enabled() {
 		start := time.Now()
 		mv.lockStripes(set)
-		telemetry.ProposerStripeWaitNs.ObserveDuration(time.Since(start))
+		wait := time.Since(start)
+		telemetry.ProposerStripeWaitNs.ObserveDuration(wait)
+		flight.StripeWait(set, wait)
 	} else {
 		mv.lockStripes(set)
 	}
@@ -234,11 +255,12 @@ func (mv *MVState) TryCommit(access *types.AccessSet, cs *state.ChangeSet) (type
 
 	for key, readVersion := range access.Reads {
 		k := key
-		if mv.stripes[mv.stripeOfKey(&k)].reserve[key] > readVersion {
+		stripe := mv.stripeOfKey(&k)
+		if winner := mv.stripes[stripe].reserve[key]; winner > readVersion {
 			// Stale read: the reserve-table check (the CAS of Alg. 1's
 			// DetectConflict) failed — abort back to the pool.
 			telemetry.ProposerReserveConflicts.Inc()
-			return 0, false
+			return 0, CommitConflict{Key: key, Winner: winner, Stripe: int(stripe)}, false
 		}
 	}
 	// The version bump happens while every touched stripe is held, so for
@@ -271,7 +293,7 @@ func (mv *MVState) TryCommit(access *types.AccessSet, cs *state.ChangeSet) (type
 		k := key
 		mv.stripes[mv.stripeOfKey(&k)].reserve[key] = v
 	}
-	return v, true
+	return v, CommitConflict{}, true
 }
 
 // Flatten returns the merged change set of all commits so far, equivalent to

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"blockpilot/internal/chain"
+	"blockpilot/internal/flight"
 	"blockpilot/internal/mempool"
 	"blockpilot/internal/state"
 	"blockpilot/internal/telemetry"
@@ -64,9 +65,10 @@ type ProposeResult struct {
 	GasUsed  uint64
 
 	// Stats for the evaluation harness.
-	Committed int // transactions packed
-	Aborts    int // WSI conflict aborts (re-queued and retried)
-	Dropped   int // transactions abandoned (invalid or retry cap)
+	Committed    int // transactions packed
+	Aborts       int // WSI conflict aborts (re-queued and retried)
+	Dropped      int // transactions abandoned (invalid or retry cap)
+	DroppedRetry int // subset of Dropped abandoned for retry-budget exhaustion
 }
 
 // committedTx is one packed transaction awaiting block assembly.
@@ -115,16 +117,18 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 	mv := NewMVStateStripes(parent, cfg.Stripes)
 
 	var (
-		mu        sync.Mutex // guards committed + fees only
-		committed []committedTx
-		gasUsed   atomic.Uint64
-		fees      uint256.Int
-		aborts    atomic.Int64
-		dropped   atomic.Int64
-		gasFull   atomic.Bool
-		inFlight  atomic.Int64
-		retries   sync.Map // tx hash → *atomic.Int64
+		mu           sync.Mutex // guards committed + fees only
+		committed    []committedTx
+		gasUsed      atomic.Uint64
+		fees         uint256.Int
+		aborts       atomic.Int64
+		dropped      atomic.Int64
+		droppedRetry atomic.Int64
+		gasFull      atomic.Bool
+		inFlight     atomic.Int64
+		retries      sync.Map // tx hash → *atomic.Int64
 	)
+	height := header.Number
 
 	// Idle-worker wakeup: waiters hold idleMu while checking the predicate
 	// (pool.Executable, inFlight, gasFull); every signaller acquires idleMu
@@ -149,7 +153,10 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 	}
 
 	// processOne executes and tries to commit a single claimed transaction.
-	processOne := func(tx *types.Transaction) {
+	// worker is the flight-recorder lane id of the calling goroutine.
+	processOne := func(worker int, tx *types.Transaction) {
+		flight.ExecStart(worker, tx, height)
+		defer flight.ExecEnd(worker, tx, height)
 		v := mv.Version()
 		telemetry.ProposerSnapshotBuilds.Inc()
 		overlay := state.NewOverlay(mv.View(v), v)
@@ -159,12 +166,13 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 			case errors.Is(err, chain.ErrNonceTooHigh):
 				// An earlier-nonce tx aborted after this one was queued
 				// behind it: retry once the chain settles.
-				requeueOrDrop(pool, tx, &retries, cfg.MaxRetries, &dropped)
+				requeueOrDrop(worker, pool, tx, &retries, cfg.MaxRetries, height, &dropped, &droppedRetry)
 			default:
 				// Nonce too low / unfunded: permanently invalid here.
 				pool.Done(tx)
 				dropped.Add(1)
 				telemetry.ProposerDrops.Inc()
+				flight.Drop(worker, tx, height, false)
 			}
 			return
 		}
@@ -189,7 +197,7 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 		if cfg.AccountLevelKeys {
 			commitView = CoarsenAccessSet(commitView)
 		}
-		version, ok := mv.TryCommit(commitView, overlay.ChangeSet())
+		version, conflict, ok := mv.TryCommitEx(commitView, overlay.ChangeSet())
 		if ok {
 			mu.Lock()
 			fees.Add(&fees, fee)
@@ -202,15 +210,17 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 			mu.Unlock()
 			pool.Done(tx)
 			telemetry.ProposerCommits.Inc()
+			flight.Commit(worker, tx, version, height)
 		} else {
 			gasUsed.Add(^(receipt.GasUsed - 1)) // release the reservation
 			aborts.Add(1)
 			telemetry.ProposerAborts.Inc()
-			requeueOrDrop(pool, tx, &retries, cfg.MaxRetries, &dropped)
+			flight.Abort(worker, tx, conflict.Key, conflict.Winner, conflict.Stripe, height)
+			requeueOrDrop(worker, pool, tx, &retries, cfg.MaxRetries, height, &dropped, &droppedRetry)
 		}
 	}
 
-	worker := func() {
+	worker := func(id int) {
 		for !gasFull.Load() {
 			txs := pool.PopBatch(batch)
 			if len(txs) == 0 {
@@ -236,6 +246,11 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 				continue
 			}
 			inFlight.Add(int64(len(txs)))
+			if flight.Enabled() {
+				for _, tx := range txs {
+					flight.Pop(id, tx, height)
+				}
+			}
 			for i, tx := range txs {
 				if gasFull.Load() {
 					// Block filled mid-batch: return the unexecuted rest.
@@ -244,7 +259,7 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 					settle(int64(len(rest)))
 					return
 				}
-				processOne(tx)
+				processOne(id, tx)
 				settle(1)
 			}
 		}
@@ -253,10 +268,10 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Threads; i++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			worker()
-		}()
+			worker(id)
+		}(i)
 	}
 	wg.Wait()
 
@@ -272,6 +287,7 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 		c.receipt.CumulativeGasUsed = cumulative
 		receipts[i] = c.receipt
 		profile.Txs[i] = c.profile
+		flight.Seal(c.tx, c.version, i, height)
 	}
 
 	// Finalize: aggregate fee + reward credit to the coinbase, then commit.
@@ -294,22 +310,30 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 		State:     postState,
 		Fees:      fees,
 		GasUsed:   gasUsed.Load(),
-		Committed: len(committed),
-		Aborts:    int(aborts.Load()),
-		Dropped:   int(dropped.Load()),
+		Committed:    len(committed),
+		Aborts:       int(aborts.Load()),
+		Dropped:      int(dropped.Load()),
+		DroppedRetry: int(droppedRetry.Load()),
 	}, nil
 }
 
-// requeueOrDrop retries tx unless it has exhausted its abort budget.
-func requeueOrDrop(pool *mempool.Pool, tx *types.Transaction, retries *sync.Map, maxRetries int, dropped *atomic.Int64) {
+// requeueOrDrop retries tx unless it has exhausted its abort budget, in which
+// case it is dropped for good and counted under both the general drops metric
+// and the retry-budget-specific blockpilot_proposer_dropped_total.
+func requeueOrDrop(worker int, pool *mempool.Pool, tx *types.Transaction, retries *sync.Map,
+	maxRetries int, height uint64, dropped, droppedRetry *atomic.Int64) {
 	counter, _ := retries.LoadOrStore(tx.Hash(), new(atomic.Int64))
 	if counter.(*atomic.Int64).Add(1) > int64(maxRetries) {
 		pool.Done(tx)
 		dropped.Add(1)
+		droppedRetry.Add(1)
 		telemetry.ProposerDrops.Inc()
+		telemetry.ProposerDroppedRetryBudget.Inc()
+		flight.Drop(worker, tx, height, true)
 		return
 	}
 	telemetry.ProposerRetries.Inc()
+	flight.Requeue(worker, tx, height)
 	pool.Requeue(tx)
 }
 

@@ -1,0 +1,127 @@
+package flight
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blockpilot/internal/types"
+)
+
+// workerSeq hands each parallel benchmark goroutine its own worker id.
+var workerSeq atomic.Int64
+
+// benchTx is built once: the disabled path must not even compute the hash,
+// but a cached hash also keeps the enabled benchmarks honest about ring cost.
+var benchTx = func() *types.Transaction {
+	tx := mktx(0xbe, 1)
+	tx.Hash()
+	return tx
+}()
+
+// disableForTest uninstalls any recorder and restores it afterwards.
+func disableForTest(tb testing.TB) {
+	tb.Helper()
+	prev := Active()
+	active.Store(nil)
+	tb.Cleanup(func() { active.Store(prev) })
+}
+
+// TestDisabledPathBudget enforces the ISSUE 3 zero-cost gate: with no
+// recorder installed every hot-path helper must be a single atomic load and
+// allocate nothing. Run by `make ci`.
+func TestDisabledPathBudget(t *testing.T) {
+	disableForTest(t)
+
+	// Allocation half of the gate: hard zero, checked even under -race.
+	key := types.AccountKey(benchTx.From)
+	allocs := testing.AllocsPerRun(1000, func() {
+		Pop(1, benchTx, 7)
+		ExecStart(1, benchTx, 7)
+		ExecEnd(1, benchTx, 7)
+		Abort(1, benchTx, key, 3, 5, 7)
+		Commit(1, benchTx, 9, 7)
+		StripeWait(0b101, time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled helpers allocated %.1f times per run, want 0", allocs)
+	}
+
+	if testing.Short() {
+		t.Skip("timing half skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing half skipped under the race detector")
+	}
+
+	const iters = 2_000_000
+	const budget = 25 * time.Nanosecond
+	best := time.Duration(1<<63 - 1)
+	for attempt := 0; attempt < 3; attempt++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			Commit(1, benchTx, 9, 7)
+		}
+		if d := time.Since(start) / iters; d < best {
+			best = d
+		}
+	}
+	if best > budget {
+		t.Fatalf("disabled Commit costs %v per call, budget %v", best, budget)
+	}
+}
+
+func BenchmarkCommitDisabled(b *testing.B) {
+	disableForTest(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Commit(1, benchTx, 9, 7)
+	}
+}
+
+func BenchmarkAbortDisabled(b *testing.B) {
+	disableForTest(b)
+	key := types.AccountKey(benchTx.From)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Abort(1, benchTx, key, 3, 5, 7)
+	}
+}
+
+func BenchmarkCommitEnabled(b *testing.B) {
+	prev := Active()
+	Enable(Options{})
+	b.Cleanup(func() { active.Store(prev) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Commit(1, benchTx, 9, 7)
+	}
+}
+
+func BenchmarkAbortEnabled(b *testing.B) {
+	prev := Active()
+	Enable(Options{})
+	b.Cleanup(func() { active.Store(prev) })
+	key := types.AccountKey(benchTx.From)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Abort(1, benchTx, key, 3, 5, 7)
+	}
+}
+
+func BenchmarkCommitEnabledParallel(b *testing.B) {
+	prev := Active()
+	Enable(Options{})
+	b.Cleanup(func() { active.Store(prev) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine writes its own worker ring in steady state.
+		worker := int(workerSeq.Add(1))
+		for pb.Next() {
+			Commit(worker, benchTx, 9, 7)
+		}
+	})
+}

@@ -1,0 +1,490 @@
+// Package flight is BlockPilot's transaction flight recorder: a per-worker
+// ring-buffered log of structured lifecycle events for every transaction —
+// mempool admission, pop, speculative attempt start/end, WSI abort (with the
+// conflicting key, the winning committed version and the stripe), commit
+// (version and block position), drop, validator component assignment,
+// replay, and verify pass/fail — each with nanosecond timestamps and worker
+// ids.
+//
+// On top of the raw event stream the package aggregates *conflict
+// attribution*: the top-K hot state keys and hot senders by abort count
+// (space-saving heavy-hitter sketch, attribution.go) and per-stripe
+// abort/wait skew gauges wired into the telemetry registry. Exports include
+// per-transaction JSON timelines, a Chrome-trace-event (Perfetto-compatible)
+// rendering (perfetto.go), and HTTP endpoints under /flight/ (http.go).
+//
+// Design constraints (ISSUE 3):
+//
+//   - The disabled path (the default) is one atomic pointer load and a nil
+//     check: ≈0 ns, zero allocations — enforced by TestDisabledPathBudget
+//     and the Benchmark*Disabled benchmarks, run by `make ci`.
+//   - The enabled path never contends across workers: every worker writes
+//     its own ring (selected by worker id), whose mutex is uncontended in
+//     steady state; the only shared write is the attribution sketch, touched
+//     exclusively on the abort path.
+//   - No dependencies beyond the standard library, internal/types and
+//     internal/telemetry.
+package flight
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockpilot/internal/types"
+)
+
+// EventKind enumerates the lifecycle stages a transaction passes through.
+type EventKind uint8
+
+const (
+	evInvalid EventKind = iota
+	// EvAdmit: the transaction entered a mempool (Pool.Add).
+	EvAdmit
+	// EvPop: a proposer worker claimed the transaction from the pool.
+	EvPop
+	// EvExecStart / EvExecEnd bracket one speculative execution attempt.
+	EvExecStart
+	EvExecEnd
+	// EvAbort: the commit was rejected by the reserve-table validation.
+	// Key is the conflicting state key, Version the winning committed
+	// version that overwrote the stale read, Stripe the key's MVState
+	// stripe.
+	EvAbort
+	// EvRequeue: the aborted or nonce-blocked transaction went back to the
+	// pool for retry.
+	EvRequeue
+	// EvCommit: the transaction committed; Version is its serialization
+	// number (the block-order rank before final assembly).
+	EvCommit
+	// EvSeal: block assembly fixed the transaction's final position
+	// (Aux = position in the block) at the given height.
+	EvSeal
+	// EvDrop: the transaction was abandoned. Aux = 1 when the retry budget
+	// was exhausted, 0 when it was permanently invalid.
+	EvDrop
+	// EvAssign: the validator's scheduler placed the transaction.
+	// Aux = dependency-component id, Aux2 = the component's gas weight,
+	// Worker = the assigned execution lane.
+	EvAssign
+	// EvReplayStart / EvReplayEnd bracket the validator's re-execution.
+	EvReplayStart
+	EvReplayEnd
+	// EvVerifyPass / EvVerifyFail: the applier checked the observed access
+	// set and gas against the block profile.
+	EvVerifyPass
+	EvVerifyFail
+	// EvBlockSubmit / EvBlockDone: pipeline block milestones (Tx is zero;
+	// Aux = 1 on EvBlockDone means the block validated and committed).
+	EvBlockSubmit
+	EvBlockDone
+)
+
+var kindNames = [...]string{
+	evInvalid:     "invalid",
+	EvAdmit:       "admit",
+	EvPop:         "pop",
+	EvExecStart:   "exec_start",
+	EvExecEnd:     "exec_end",
+	EvAbort:       "abort",
+	EvRequeue:     "requeue",
+	EvCommit:      "commit",
+	EvSeal:        "seal",
+	EvDrop:        "drop",
+	EvAssign:      "assign",
+	EvReplayStart: "replay_start",
+	EvReplayEnd:   "replay_end",
+	EvVerifyPass:  "verify_pass",
+	EvVerifyFail:  "verify_fail",
+	EvBlockSubmit: "block_submit",
+	EvBlockDone:   "block_done",
+}
+
+// String returns the event kind's wire name.
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Worker-id namespaces. Proposer workers use their plain index; validator
+// execution lanes are offset so one Perfetto track per lane renders
+// separately from the proposer lanes; System tags events raised outside any
+// worker loop (mempool admission, block assembly, pipeline milestones).
+const (
+	// ValidatorLaneBase offsets validator lane ids.
+	ValidatorLaneBase = 0x100
+	// WorkerSystem marks events without a worker context.
+	WorkerSystem = 0x1FF
+)
+
+// ValidatorLane returns the worker id for validator execution lane i.
+func ValidatorLane(i int) int { return ValidatorLaneBase + i }
+
+// Event is one recorded lifecycle event. TS is nanoseconds since the
+// recorder was enabled; Seq imposes a total order on simultaneous events.
+type Event struct {
+	TS      int64
+	Seq     uint64
+	Tx      types.Hash
+	Sender  types.Address
+	Key     types.StateKey // EvAbort only: the conflicting key
+	Version types.Version  // commit version / winning version on abort
+	Aux     uint64         // kind-specific (see the EventKind docs)
+	Aux2    uint64
+	Height  uint64
+	Kind    EventKind
+	Worker  int16
+	Stripe  int16 // EvAbort only: the conflicting key's stripe
+}
+
+// ring is one worker's event buffer. The owning worker is the only steady-
+// state writer, so the mutex is uncontended except against snapshots.
+type ring struct {
+	mu     sync.Mutex
+	buf    []Event
+	next   int
+	filled bool
+	total  uint64
+	_      [32]byte // keep neighbouring rings' mutexes apart
+}
+
+func (rg *ring) record(ev Event) {
+	rg.mu.Lock()
+	rg.buf[rg.next] = ev
+	rg.next++
+	rg.total++
+	if rg.next == len(rg.buf) {
+		rg.next = 0
+		rg.filled = true
+	}
+	rg.mu.Unlock()
+}
+
+func (rg *ring) snapshot(out []Event) []Event {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if rg.filled {
+		out = append(out, rg.buf[rg.next:]...)
+	}
+	return append(out, rg.buf[:rg.next]...)
+}
+
+// Options sizes a Recorder.
+type Options struct {
+	// Rings is the number of per-worker ring buffers (worker id modulo
+	// Rings selects the ring). 0 = DefaultRings.
+	Rings int
+	// RingCapacity is the event capacity of each ring. 0 = DefaultRingCapacity.
+	RingCapacity int
+	// TopK is the heavy-hitter sketch capacity for hot keys and hot
+	// senders. 0 = DefaultTopK.
+	TopK int
+}
+
+// Defaults: 16 rings × 8192 events ≈ 131k buffered events — several blocks
+// of full lifecycle traffic at the paper's 132 tx/block.
+const (
+	DefaultRings        = 16
+	DefaultRingCapacity = 8192
+	DefaultTopK         = 64
+	// StripeSlots mirrors core.maxStripes: the per-stripe attribution
+	// arrays cover every possible MVState stripe index.
+	StripeSlots = 64
+)
+
+// Recorder owns the rings and the attribution aggregates.
+type Recorder struct {
+	start time.Time
+	seq   atomic.Uint64
+	rings []ring
+
+	// Conflict attribution (attribution.go).
+	abortTotal atomic.Uint64
+	hotKeys    *TopK[types.StateKey]
+	hotSenders *TopK[types.Address]
+	stripes    [StripeSlots]stripeStat
+}
+
+// NewRecorder builds a recorder without installing it (tests use this to
+// keep recorders private).
+func NewRecorder(o Options) *Recorder {
+	if o.Rings <= 0 {
+		o.Rings = DefaultRings
+	}
+	if o.RingCapacity <= 0 {
+		o.RingCapacity = DefaultRingCapacity
+	}
+	if o.TopK <= 0 {
+		o.TopK = DefaultTopK
+	}
+	r := &Recorder{
+		start:      time.Now(),
+		rings:      make([]ring, o.Rings),
+		hotKeys:    NewTopK[types.StateKey](o.TopK),
+		hotSenders: NewTopK[types.Address](o.TopK),
+	}
+	for i := range r.rings {
+		r.rings[i].buf = make([]Event, o.RingCapacity)
+	}
+	return r
+}
+
+// active is the installed recorder; nil = flight recording disabled. The
+// hot-path helpers below reduce to one atomic load + nil check when
+// disabled.
+var active atomic.Pointer[Recorder]
+
+// Enable installs a fresh recorder (replacing any previous one) and returns
+// it. The /flight HTTP endpoints always serve the currently installed
+// recorder.
+func Enable(o Options) *Recorder {
+	r := NewRecorder(o)
+	active.Store(r)
+	return r
+}
+
+// Disable uninstalls the recorder; the hot-path helpers return to the no-op
+// fast path. The previously installed recorder (if any) is returned so its
+// buffered events can still be exported.
+func Disable() *Recorder {
+	r := active.Load()
+	active.Store(nil)
+	return r
+}
+
+// Active returns the installed recorder, or nil when disabled.
+func Active() *Recorder { return active.Load() }
+
+// Enabled reports whether a recorder is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Start returns the recorder's epoch (TS = 0).
+func (r *Recorder) Start() time.Time { return r.start }
+
+// record stamps and stores one event into the worker's ring.
+func (r *Recorder) record(worker int, ev Event) {
+	ev.TS = time.Since(r.start).Nanoseconds()
+	ev.Seq = r.seq.Add(1)
+	ev.Worker = int16(worker)
+	r.rings[uint(worker)%uint(len(r.rings))].record(ev)
+}
+
+// Events returns every buffered event merged across rings, ordered by
+// (TS, Seq).
+func (r *Recorder) Events() []Event {
+	var out []Event
+	for i := range r.rings {
+		out = r.rings[i].snapshot(out)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Total returns how many events were ever recorded (including overwritten).
+func (r *Recorder) Total() uint64 {
+	var n uint64
+	for i := range r.rings {
+		r.rings[i].mu.Lock()
+		n += r.rings[i].total
+		r.rings[i].mu.Unlock()
+	}
+	return n
+}
+
+// Timeline returns the buffered lifecycle of one transaction, oldest first.
+func (r *Recorder) Timeline(tx types.Hash) []Event {
+	all := r.Events()
+	out := make([]Event, 0, 16)
+	for _, ev := range all {
+		if ev.Tx == tx {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path helpers. Each is a single atomic load + nil check when disabled;
+// argument evaluation must therefore stay allocation-free (transactions are
+// passed by pointer, hashes are computed only once recording is certain).
+
+// Admit records a mempool admission (no worker context).
+func Admit(tx *types.Transaction) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.record(WorkerSystem, Event{Kind: EvAdmit, Tx: tx.Hash(), Sender: tx.From})
+}
+
+// Pop records a proposer worker claiming tx from the pool.
+func Pop(worker int, tx *types.Transaction, height uint64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.record(worker, Event{Kind: EvPop, Tx: tx.Hash(), Sender: tx.From, Height: height})
+}
+
+// ExecStart records the beginning of one speculative execution attempt.
+func ExecStart(worker int, tx *types.Transaction, height uint64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.record(worker, Event{Kind: EvExecStart, Tx: tx.Hash(), Sender: tx.From, Height: height})
+}
+
+// ExecEnd records the end of one speculative execution attempt.
+func ExecEnd(worker int, tx *types.Transaction, height uint64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.record(worker, Event{Kind: EvExecEnd, Tx: tx.Hash(), Sender: tx.From, Height: height})
+}
+
+// Abort records a WSI conflict abort: key is the stale-read key that failed
+// the reserve-table validation, winner the committed version that overwrote
+// it, stripe the key's MVState stripe. The abort also feeds the hot-key /
+// hot-sender sketches and the per-stripe abort counters.
+func Abort(worker int, tx *types.Transaction, key types.StateKey, winner types.Version, stripe int, height uint64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.record(worker, Event{
+		Kind: EvAbort, Tx: tx.Hash(), Sender: tx.From,
+		Key: key, Version: winner, Stripe: int16(stripe), Height: height,
+	})
+	r.noteAbort(tx.From, key, stripe)
+}
+
+// Requeue records an aborted/nonce-blocked transaction returning to the pool.
+func Requeue(worker int, tx *types.Transaction, height uint64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.record(worker, Event{Kind: EvRequeue, Tx: tx.Hash(), Sender: tx.From, Height: height})
+}
+
+// Commit records a successful commit with its serialization version.
+func Commit(worker int, tx *types.Transaction, version types.Version, height uint64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.record(worker, Event{Kind: EvCommit, Tx: tx.Hash(), Sender: tx.From, Version: version, Height: height})
+}
+
+// Seal records the transaction's final position in the assembled block.
+func Seal(tx *types.Transaction, version types.Version, position int, height uint64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.record(WorkerSystem, Event{
+		Kind: EvSeal, Tx: tx.Hash(), Sender: tx.From,
+		Version: version, Aux: uint64(position), Height: height,
+	})
+}
+
+// Drop records a permanently abandoned transaction. retryExhausted
+// distinguishes retry-budget exhaustion from outright invalidity.
+func Drop(worker int, tx *types.Transaction, height uint64, retryExhausted bool) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	var aux uint64
+	if retryExhausted {
+		aux = 1
+	}
+	r.record(worker, Event{Kind: EvDrop, Tx: tx.Hash(), Sender: tx.From, Aux: aux, Height: height})
+}
+
+// Assign records the validator scheduler's placement of tx: dependency
+// component id, the component's gas weight, and the execution lane.
+func Assign(lane int, tx *types.Transaction, component int, componentGas uint64, height uint64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.record(ValidatorLane(lane), Event{
+		Kind: EvAssign, Tx: tx.Hash(), Sender: tx.From,
+		Aux: uint64(component), Aux2: componentGas, Height: height,
+	})
+}
+
+// ReplayStart records the beginning of the validator's re-execution of tx.
+func ReplayStart(lane int, tx *types.Transaction, height uint64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.record(ValidatorLane(lane), Event{Kind: EvReplayStart, Tx: tx.Hash(), Sender: tx.From, Height: height})
+}
+
+// ReplayEnd records the end of the validator's re-execution of tx.
+func ReplayEnd(lane int, tx *types.Transaction, height uint64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.record(ValidatorLane(lane), Event{Kind: EvReplayEnd, Tx: tx.Hash(), Sender: tx.From, Height: height})
+}
+
+// Verify records the applier's profile check outcome for tx.
+func Verify(tx *types.Transaction, pass bool, height uint64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	kind := EvVerifyPass
+	if !pass {
+		kind = EvVerifyFail
+	}
+	r.record(WorkerSystem, Event{Kind: kind, Tx: tx.Hash(), Sender: tx.From, Height: height})
+}
+
+// BlockSubmit records a block entering the validation pipeline.
+func BlockSubmit(height uint64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.record(WorkerSystem, Event{Kind: EvBlockSubmit, Height: height})
+}
+
+// BlockDone records a block leaving the pipeline (ok = validated+committed).
+func BlockDone(height uint64, ok bool) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	var aux uint64
+	if ok {
+		aux = 1
+	}
+	r.record(WorkerSystem, Event{Kind: EvBlockDone, Aux: aux, Height: height})
+}
+
+// StripeWait attributes one commit attempt's stripe-lock wait to every
+// stripe in the touched set (a hot stripe appears in many sets, so convoy
+// time concentrates on it). set is the MVState stripe bitmask.
+func StripeWait(set uint64, d time.Duration) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.noteStripeWait(set, d)
+}

@@ -1,0 +1,180 @@
+// Chrome trace-event export: renders the flight-recorder event stream plus
+// the telemetry span ring as a Chrome JSON trace that loads directly in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Track layout:
+//
+//	pid 1 "proposer"  — one tid per proposer worker: exec attempts as
+//	                    complete ("X") slices, pop/abort/requeue/commit/
+//	                    drop as instant ("i") events
+//	pid 2 "validator" — one tid per execution lane: replay slices plus
+//	                    assign/verify instants
+//	pid 3 "pipeline"  — phase spans from the telemetry trace ring
+//	                    (proposer.propose, pipeline.prepare/execute/
+//	                    validate/commit, validator.block, …), one tid per
+//	                    span name, plus block_submit/block_done instants
+package flight
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"blockpilot/internal/telemetry"
+	"blockpilot/internal/types"
+)
+
+// traceEvent is one Chrome trace-event object (the subset Perfetto needs).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const (
+	pidProposer  = 1
+	pidValidator = 2
+	pidPipeline  = 3
+)
+
+func metaEvent(pid, tid int, kind, name string) traceEvent {
+	return traceEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}}
+}
+
+func short(h types.Hash) string { return h.String()[:10] }
+
+// WriteTrace renders the recorder's buffered events (and, when spans is
+// non-nil, the telemetry span ring) as a Chrome JSON trace. Span start
+// times are re-based onto the recorder's epoch so both sources share one
+// timeline.
+func (r *Recorder) WriteTrace(w io.Writer, spans []telemetry.TraceEvent) error {
+	evs := r.Events()
+	out := traceFile{DisplayTimeUnit: "ms"}
+
+	out.TraceEvents = append(out.TraceEvents,
+		metaEvent(pidProposer, 0, "process_name", "proposer"),
+		metaEvent(pidValidator, 0, "process_name", "validator"),
+		metaEvent(pidPipeline, 0, "process_name", "pipeline"),
+	)
+
+	usedLanes := map[[2]int]bool{}
+	lane := func(worker int) (pid, tid int) {
+		switch {
+		case worker == WorkerSystem:
+			pid, tid = pidPipeline, 0
+		case worker >= ValidatorLaneBase:
+			pid, tid = pidValidator, worker-ValidatorLaneBase
+		default:
+			pid, tid = pidProposer, worker
+		}
+		if !usedLanes[[2]int{pid, tid}] {
+			usedLanes[[2]int{pid, tid}] = true
+			name := LaneName(worker)
+			if worker == WorkerSystem {
+				name = "milestones"
+			}
+			out.TraceEvents = append(out.TraceEvents, metaEvent(pid, tid, "thread_name", name))
+		}
+		return pid, tid
+	}
+
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+
+	// Pair start/end kinds into complete slices per (worker, tx).
+	type openSlice struct{ ts int64 }
+	openExec := map[[2]uint64]openSlice{} // (worker, txPrefix) — worker-local, prefix is enough
+	keyOf := func(ev Event) [2]uint64 {
+		var p uint64
+		for i := 0; i < 8; i++ {
+			p = p<<8 | uint64(ev.Tx[i])
+		}
+		return [2]uint64{uint64(uint16(ev.Worker)), p}
+	}
+
+	for _, ev := range evs {
+		pid, tid := lane(int(ev.Worker))
+		switch ev.Kind {
+		case EvExecStart, EvReplayStart:
+			openExec[keyOf(ev)] = openSlice{ts: ev.TS}
+		case EvExecEnd, EvReplayEnd:
+			k := keyOf(ev)
+			if o, ok := openExec[k]; ok {
+				delete(openExec, k)
+				name := "exec " + short(ev.Tx)
+				if ev.Kind == EvReplayEnd {
+					name = "replay " + short(ev.Tx)
+				}
+				out.TraceEvents = append(out.TraceEvents, traceEvent{
+					Name: name, Ph: "X", TS: us(o.ts), Dur: us(ev.TS - o.ts),
+					Pid: pid, Tid: tid,
+					Args: map[string]any{"tx": ev.Tx.String(), "sender": ev.Sender.String(), "height": ev.Height},
+				})
+			}
+		case EvBlockSubmit, EvBlockDone:
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: ev.Kind.String(), Ph: "i", TS: us(ev.TS), Pid: pidPipeline, Tid: 0, S: "p",
+				Args: map[string]any{"height": ev.Height, "ok": ev.Aux == 1},
+			})
+		default:
+			args := map[string]any{"tx": ev.Tx.String(), "height": ev.Height}
+			switch ev.Kind {
+			case EvAbort:
+				args["key"] = ev.Key.String()
+				args["winner_version"] = ev.Version
+				args["stripe"] = ev.Stripe
+			case EvCommit:
+				args["version"] = ev.Version
+			case EvSeal:
+				args["version"] = ev.Version
+				args["position"] = ev.Aux
+			case EvAssign:
+				args["component"] = ev.Aux
+				args["component_gas"] = ev.Aux2
+			case EvDrop:
+				args["retry_exhausted"] = ev.Aux == 1
+			}
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: ev.Kind.String() + " " + short(ev.Tx), Ph: "i",
+				TS: us(ev.TS), Pid: pid, Tid: tid, S: "t", Args: args,
+			})
+		}
+	}
+
+	// Telemetry phase spans on the pipeline process, one tid per span name.
+	if len(spans) > 0 {
+		nameTid := map[string]int{}
+		names := make([]string, 0, 8)
+		for _, sp := range spans {
+			if _, ok := nameTid[sp.Name]; !ok {
+				names = append(names, sp.Name)
+			}
+			nameTid[sp.Name] = 0
+		}
+		sort.Strings(names)
+		for i, n := range names {
+			nameTid[n] = i + 1
+			out.TraceEvents = append(out.TraceEvents, metaEvent(pidPipeline, i+1, "thread_name", "phase:"+n))
+		}
+		for _, sp := range spans {
+			rel := sp.Start.Sub(r.start).Nanoseconds()
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: sp.Name, Ph: "X", TS: us(rel), Dur: us(sp.Dur.Nanoseconds()),
+				Pid: pidPipeline, Tid: nameTid[sp.Name],
+				Args: map[string]any{"height": sp.Height},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

@@ -1,0 +1,79 @@
+package flight
+
+import "sort"
+
+// TopK is a space-saving heavy-hitter sketch (Metwally, Agrawal, El Abbadi,
+// "Efficient computation of frequent and top-k elements in data streams",
+// ICDT 2005): it tracks at most k candidate keys; a new key evicts the
+// current minimum and inherits its count as over-estimation error. For any
+// key whose true frequency exceeds N/k the sketch is guaranteed to hold it,
+// and Count − Err is a lower bound on the true frequency. When the distinct
+// key population is ≤ k the counts are exact (Err = 0).
+//
+// The sketch is mutex-guarded: it is touched only on the abort path, which
+// is orders of magnitude rarer than the per-event ring writes.
+type TopK[K comparable] struct {
+	k       int
+	entries map[K]*topkEntry
+}
+
+type topkEntry struct {
+	count uint64
+	err   uint64
+}
+
+// Counted is one reported heavy hitter. Count overestimates the true
+// frequency by at most Err.
+type Counted[K comparable] struct {
+	Key   K
+	Count uint64
+	Err   uint64
+}
+
+// NewTopK returns a sketch holding up to k candidates (k ≥ 1).
+func NewTopK[K comparable](k int) *TopK[K] {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK[K]{k: k, entries: make(map[K]*topkEntry, k+1)}
+}
+
+// Observe counts one occurrence of key. Not safe for concurrent use; the
+// Recorder serializes calls under its attribution mutex.
+func (t *TopK[K]) Observe(key K) {
+	if e, ok := t.entries[key]; ok {
+		e.count++
+		return
+	}
+	if len(t.entries) < t.k {
+		t.entries[key] = &topkEntry{count: 1}
+		return
+	}
+	// Evict the minimum-count candidate; the newcomer inherits its count
+	// (the space-saving replacement rule).
+	var minKey K
+	var minE *topkEntry
+	for k2, e := range t.entries {
+		if minE == nil || e.count < minE.count {
+			minKey, minE = k2, e
+		}
+	}
+	delete(t.entries, minKey)
+	t.entries[key] = &topkEntry{count: minE.count + 1, err: minE.count}
+}
+
+// Top returns up to n heavy hitters, highest count first (n ≤ 0 = all).
+func (t *TopK[K]) Top(n int) []Counted[K] {
+	out := make([]Counted[K], 0, len(t.entries))
+	for k2, e := range t.entries {
+		out = append(out, Counted[K]{Key: k2, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Len returns how many candidates the sketch currently holds.
+func (t *TopK[K]) Len() int { return len(t.entries) }

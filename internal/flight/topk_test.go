@@ -1,0 +1,103 @@
+package flight
+
+import "testing"
+
+func TestTopKExactWhenSmall(t *testing.T) {
+	s := NewTopK[string](8)
+	for i := 0; i < 5; i++ {
+		s.Observe("a")
+	}
+	for i := 0; i < 3; i++ {
+		s.Observe("b")
+	}
+	s.Observe("c")
+
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	top := s.Top(0)
+	if len(top) != 3 {
+		t.Fatalf("Top(0) returned %d entries, want 3", len(top))
+	}
+	want := []struct {
+		key   string
+		count uint64
+	}{{"a", 5}, {"b", 3}, {"c", 1}}
+	for i, w := range want {
+		if top[i].Key != w.key || top[i].Count != w.count {
+			t.Fatalf("top[%d] = %v/%d, want %s/%d", i, top[i].Key, top[i].Count, w.key, w.count)
+		}
+		if top[i].Err != 0 {
+			t.Fatalf("distinct ≤ k must be exact, got Err=%d for %s", top[i].Err, top[i].Key)
+		}
+	}
+	if got := s.Top(2); len(got) != 2 || got[0].Key != "a" || got[1].Key != "b" {
+		t.Fatalf("Top(2) = %v", got)
+	}
+}
+
+// TestTopKEviction checks the space-saving replacement rule: a newcomer
+// evicts the minimum candidate and inherits its count as error bound.
+func TestTopKEviction(t *testing.T) {
+	s := NewTopK[string](2)
+	s.Observe("a")
+	s.Observe("a")
+	s.Observe("a")
+	s.Observe("b")
+	s.Observe("c") // evicts b (count 1): c gets count=2, err=1
+
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	top := s.Top(0)
+	if top[0].Key != "a" || top[0].Count != 3 {
+		t.Fatalf("top[0] = %v/%d, want a/3", top[0].Key, top[0].Count)
+	}
+	if top[1].Key != "c" || top[1].Count != 2 || top[1].Err != 1 {
+		t.Fatalf("top[1] = %v count=%d err=%d, want c/2/1", top[1].Key, top[1].Count, top[1].Err)
+	}
+	// Count − Err is a valid lower bound on the true frequency (1 for c).
+	if lower := top[1].Count - top[1].Err; lower != 1 {
+		t.Fatalf("lower bound = %d, want 1", lower)
+	}
+}
+
+// TestTopKHeavyHitterRetained checks the sketch guarantee: any key whose true
+// frequency exceeds N/k survives arbitrary interleaving with a long tail.
+func TestTopKHeavyHitterRetained(t *testing.T) {
+	const k = 10
+	s := NewTopK[int](k)
+	const hot = -1
+	trueHot := 0
+	n := 0
+	// 5000 observations: every 2nd is the hot key, the rest cycle through
+	// 500 distinct tail keys (each far below N/k).
+	for i := 0; i < 5000; i++ {
+		if i%2 == 0 {
+			s.Observe(hot)
+			trueHot++
+		} else {
+			s.Observe(i % 500)
+		}
+		n++
+	}
+	top := s.Top(1)
+	if len(top) == 0 || top[0].Key != hot {
+		t.Fatalf("heavy hitter (freq %d of %d) not at rank 1: %+v", trueHot, n, top)
+	}
+	if top[0].Count < uint64(trueHot) {
+		t.Fatalf("space-saving never undercounts: Count=%d < true %d", top[0].Count, trueHot)
+	}
+	if lower := top[0].Count - top[0].Err; lower > uint64(trueHot) {
+		t.Fatalf("lower bound %d exceeds true frequency %d", lower, trueHot)
+	}
+}
+
+func TestTopKMinCapacity(t *testing.T) {
+	s := NewTopK[string](0) // clamped to 1
+	s.Observe("a")
+	s.Observe("b")
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (k clamped to 1)", s.Len())
+	}
+}

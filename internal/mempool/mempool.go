@@ -33,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"blockpilot/internal/flight"
 	"blockpilot/internal/telemetry"
 	"blockpilot/internal/types"
 	"blockpilot/internal/uint256"
@@ -156,6 +157,7 @@ func (p *Pool) Add(tx *types.Transaction) error {
 	telemetry.MempoolPending.Set(p.count.Load())
 	pushed := p.insert(sh, tx)
 	sh.mu.Unlock()
+	flight.Admit(tx)
 	if pushed {
 		p.notifyExecutable()
 	}

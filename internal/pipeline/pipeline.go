@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"blockpilot/internal/chain"
+	"blockpilot/internal/flight"
 	"blockpilot/internal/telemetry"
 	"blockpilot/internal/types"
 	"blockpilot/internal/validator"
@@ -155,6 +156,7 @@ func (p *Pipeline) Results() <-chan Outcome { return p.results }
 // block waits until its parent has been validated, while blocks at the same
 // height proceed concurrently.
 func (p *Pipeline) Submit(block *types.Block) {
+	flight.BlockSubmit(block.Header.Number)
 	pb := &pendingBlock{block: block, arrived: time.Now()}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -182,6 +184,7 @@ func (p *Pipeline) run(pb *pendingBlock) {
 		}
 	}
 	telemetry.PipelineBlockSeconds.ObserveDuration(out.Elapsed)
+	flight.BlockDone(block.Header.Number, out.Err == nil)
 	p.results <- out
 
 	p.mu.Lock()

@@ -29,6 +29,35 @@ type Schedule struct {
 	ThreadTxs [][]int
 	// ThreadGas[i] is the scheduled gas weight of thread i.
 	ThreadGas []uint64
+	// TxThread[tx] / TxComponent[tx] invert the assignment: which thread lane
+	// executes a block position, and which dependency subgraph it belongs to.
+	// Built by the assigners; consumed by the flight recorder's assign events.
+	TxThread    []int
+	TxComponent []int
+}
+
+// buildTxLookups populates TxThread/TxComponent from the finished schedule.
+func (s *Schedule) buildTxLookups() {
+	n := 0
+	for _, c := range s.Components {
+		n += len(c.TxIndices)
+	}
+	s.TxThread = make([]int, n)
+	s.TxComponent = make([]int, n)
+	for ci, c := range s.Components {
+		for _, tx := range c.TxIndices {
+			if tx >= 0 && tx < n {
+				s.TxComponent[tx] = ci
+			}
+		}
+	}
+	for t, txs := range s.ThreadTxs {
+		for _, tx := range txs {
+			if tx >= 0 && tx < n {
+				s.TxThread[tx] = t
+			}
+		}
+	}
 }
 
 // Stats summarizes a block's conflict structure (the Fig. 8 statistics).
@@ -182,6 +211,7 @@ func AssignLPT(components []Component, threads int) *Schedule {
 	for t := range s.ThreadTxs {
 		sort.Ints(s.ThreadTxs[t])
 	}
+	s.buildTxLookups()
 	return s
 }
 
@@ -204,6 +234,7 @@ func AssignRoundRobin(components []Component, threads int) *Schedule {
 	for t := range s.ThreadTxs {
 		sort.Ints(s.ThreadTxs[t])
 	}
+	s.buildTxLookups()
 	return s
 }
 

@@ -4,14 +4,32 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
+
+// extraHandlers lets other packages (notably internal/flight, which telemetry
+// must not import) mount endpoints onto every mux Handler builds. Registration
+// is idempotent per path: the latest handler wins.
+var (
+	extraMu       sync.Mutex
+	extraHandlers = map[string]http.Handler{}
+)
+
+// RegisterHTTP mounts h at path on every subsequently built Handler mux.
+// Intended for init-time registration by sibling observability packages.
+func RegisterHTTP(path string, h http.Handler) {
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	extraHandlers[path] = h
+}
 
 // PrometheusText renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4). Histograms render cumulatively with `le` labels,
@@ -76,6 +94,18 @@ func Handler(r *Registry) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte(ReportSnapshot(r.Snapshot())))
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"telemetry_enabled\":%t}\n", Enabled())
+	})
+	extraMu.Lock()
+	extraPaths := make([]string, 0, len(extraHandlers))
+	for path, h := range extraHandlers {
+		mux.Handle(path, h)
+		extraPaths = append(extraPaths, path)
+	}
+	extraMu.Unlock()
+	sort.Strings(extraPaths)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -88,7 +118,10 @@ func Handler(r *Registry) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "blockpilot telemetry endpoints:")
-		for _, p := range []string{"/metrics", "/metrics.json", "/trace", "/report", "/debug/pprof/"} {
+		for _, p := range []string{"/healthz", "/metrics", "/metrics.json", "/trace", "/report", "/debug/pprof/"} {
+			fmt.Fprintln(w, "  "+p)
+		}
+		for _, p := range extraPaths {
 			fmt.Fprintln(w, "  "+p)
 		}
 	})
@@ -106,10 +139,27 @@ func serveJSON(w http.ResponseWriter, v any) {
 // enables telemetry. The returned server can be Closed by the caller; the
 // error channel receives the terminal ListenAndServe error.
 func Serve(addr string, r *Registry) (*http.Server, <-chan error) {
+	return ServeContext(context.Background(), addr, r)
+}
+
+// ServeContext is Serve with lifecycle management: when ctx is cancelled the
+// server drains in-flight requests (up to 2 s) and shuts down, so the
+// listener no longer leaks past the caller's run. The error channel receives
+// the terminal ListenAndServe error; on a clean context shutdown that error
+// is http.ErrServerClosed.
+func ServeContext(ctx context.Context, addr string, r *Registry) (*http.Server, <-chan error) {
 	Enable()
 	srv := &http.Server{Addr: addr, Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	if ctx.Done() != nil { // context.Background() can never fire; skip the watcher
+		go func() {
+			<-ctx.Done()
+			shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutCtx)
+		}()
+	}
 	return srv, errc
 }
 

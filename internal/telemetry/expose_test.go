@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz returned %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("/healthz content type %q", ct)
+	}
+	var body struct {
+		Status           string `json:"status"`
+		TelemetryEnabled bool   `json:"telemetry_enabled"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("/healthz is not valid JSON: %v", err)
+	}
+	if body.Status != "ok" {
+		t.Fatalf("status = %q, want ok", body.Status)
+	}
+	if body.TelemetryEnabled != Enabled() {
+		t.Fatalf("telemetry_enabled = %t, want %t", body.TelemetryEnabled, Enabled())
+	}
+}
+
+func TestRegisterHTTPMountsExtraHandlers(t *testing.T) {
+	const path = "/test/extra-handler"
+	RegisterHTTP(path, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		_, _ = w.Write([]byte("extra"))
+	}))
+	t.Cleanup(func() {
+		extraMu.Lock()
+		delete(extraHandlers, path)
+		extraMu.Unlock()
+	})
+
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot || string(b) != "extra" {
+		t.Fatalf("extra handler: status %d body %q", resp.StatusCode, b)
+	}
+
+	// The index page advertises the registered path.
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), path) || !strings.Contains(string(b), "/healthz") {
+		t.Fatalf("index does not list %s and /healthz:\n%s", path, b)
+	}
+}
+
+// TestServeContextShutdown checks the satellite: cancelling the context
+// shuts the exposition server down cleanly (terminal error is
+// http.ErrServerClosed and the port is released).
+func TestServeContextShutdown(t *testing.T) {
+	// Pick a free port first so ListenAndServe binds deterministically.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	_, errc := ServeContext(ctx, addr, nil)
+
+	// Wait for the server to come up, then prove /healthz answers.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up on %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != http.ErrServerClosed {
+			t.Fatalf("terminal error = %v, want http.ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down within 5s of context cancellation")
+	}
+
+	// The listener is gone: a fresh request must fail to connect.
+	if _, err := (&http.Client{Timeout: time.Second}).Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+}

@@ -23,6 +23,19 @@ var (
 		"Transactions packed per proposed block.", "")
 	ProposerStripeWaitNs = NewHistogram("blockpilot_proposer_stripe_wait_ns",
 		"Time one TryCommit spent acquiring its MVState stripe locks (lock-convoy probe).", "ns")
+	ProposerDroppedRetryBudget = NewCounter("blockpilot_proposer_dropped_total",
+		"Transactions dropped specifically because their abort-retry budget ran out.")
+)
+
+// Flight recorder (conflict attribution, internal/flight). Pushed by
+// Recorder.Attribution whenever a hot-key report is computed.
+var (
+	FlightStripeAbortSkew = NewFloatGauge("blockpilot_flight_stripe_abort_skew",
+		"Max per-stripe abort count over the mean across touched MVState stripes (1.0 = even).")
+	FlightStripeWaitSkew = NewFloatGauge("blockpilot_flight_stripe_wait_skew",
+		"Max per-stripe cumulative lock wait over the mean across touched stripes (1.0 = even).")
+	FlightHotKeyAbortShare = NewFloatGauge("blockpilot_flight_hotkey_abort_share",
+		"Fraction of all WSI aborts attributed to the top-10 hot state keys.")
 )
 
 // Validator (dependency-graph re-execution, internal/validator).

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"blockpilot/internal/chain"
+	"blockpilot/internal/flight"
 	"blockpilot/internal/scheduler"
 	"blockpilot/internal/state"
 	"blockpilot/internal/telemetry"
@@ -155,6 +156,14 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 			telemetry.ValidatorLPTImbalance.Set(float64(maxGas) / mean)
 		}
 	}
+	if flight.Enabled() {
+		// One assign event per transaction: which component it belongs to,
+		// the component's gas weight, and the execution lane it landed on.
+		for i := range block.Txs {
+			ci := sched.TxComponent[i]
+			flight.Assign(sched.TxThread[i], block.Txs[i], ci, components[ci].Gas, h.Number)
+		}
+	}
 
 	// Tx execution phase: one goroutine per scheduled thread.
 	execSpan := telemetry.StartSpan("pipeline.execute", h.Number, telemetry.PipelineExecuteSeconds)
@@ -169,6 +178,7 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 		}
 		wg.Add(1)
 		lane := txIdxs
+		laneID := t
 		cfg.Spawn(func() {
 			defer wg.Done()
 			accum := state.NewMemory(parent)
@@ -176,8 +186,10 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 				if failed.Load() {
 					return
 				}
+				flight.ReplayStart(laneID, block.Txs[i], h.Number)
 				overlay := state.NewOverlay(accum, types.Version(i))
 				receipt, fee, err := chain.ApplyTransaction(overlay, block.Txs[i], bc)
+				flight.ReplayEnd(laneID, block.Txs[i], h.Number)
 				if err != nil {
 					failed.Store(true)
 					results <- txResult{index: i, err: fmt.Errorf("tx %d: %w", i, err)}
@@ -233,16 +245,19 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 					vErr = fmt.Errorf("%w: tx %d access set differs", ErrProfileMismatch, next)
 					failed.Store(true)
 					telemetry.ValidatorVerifyFailures.Inc()
+					flight.Verify(block.Txs[next], false, h.Number)
 				case !cfg.SkipProfileCheck && cur.profile.GasUsed != want.GasUsed:
 					vErr = fmt.Errorf("%w: tx %d used %d gas, profile says %d", ErrProfileMismatch, next, cur.profile.GasUsed, want.GasUsed)
 					failed.Store(true)
 					telemetry.ValidatorVerifyFailures.Inc()
+					flight.Verify(block.Txs[next], false, h.Number)
 				default:
 					cumulative += cur.receipt.GasUsed
 					cur.receipt.CumulativeGasUsed = cumulative
 					receipts[next] = cur.receipt
 					fees.Add(&fees, &cur.fee)
 					total.Merge(cur.changes)
+					flight.Verify(block.Txs[next], true, h.Number)
 				}
 			}
 			next++
