@@ -7,8 +7,9 @@
 # `make bench` records the performance baseline: the contention suite
 # (striped vs single-lock MVState, mempool batching, end-to-end Propose)
 # written to BENCH_proposer.json, the validator wall-clock suite written to
-# BENCH_validator.json, plus the Go micro-benchmarks with -benchmem. See
-# docs/PERFORMANCE.md for methodology.
+# BENCH_validator.json, the state-commit suite (parallel commit & Merkle root
+# hashing vs the serial tail) written to BENCH_state.json, plus the Go
+# micro-benchmarks with -benchmem. See docs/PERFORMANCE.md for methodology.
 #
 # `make trace-demo` runs a short skewed workload with the flight recorder on
 # and leaves trace.json (open at https://ui.perfetto.dev) plus the hot-key
@@ -16,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race flight-budget bench-smoke bench bench-go telemetry-bench flight-bench trace-demo clean
+.PHONY: all ci vet build test race flight-budget bench-smoke bench bench-go bench-state telemetry-bench flight-bench trace-demo clean
 
 all: ci
 
@@ -32,24 +33,30 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/mempool/... ./internal/pipeline/... ./internal/telemetry/... ./internal/flight/...
+	$(GO) test -race ./internal/core/... ./internal/mempool/... ./internal/pipeline/... ./internal/telemetry/... ./internal/flight/... ./internal/trie/... ./internal/state/...
 
 # The flight recorder's zero-cost gate: with no recorder installed the
 # hot-path helpers must stay within the ns budget and allocate nothing.
 flight-budget:
 	$(GO) test -run TestDisabledPathBudget -count=1 ./internal/flight/ ./internal/telemetry/
 
-# Short-mode pass over the contention suite: every code path, seconds of
-# runtime, no artifact written.
+# Short-mode pass over the contention + state-commit suites: every code
+# path, seconds of runtime, no artifact written.
 bench-smoke:
-	$(GO) test -short -run TestContentionSmoke ./internal/bench/
+	$(GO) test -short -run 'TestContentionSmoke|TestStateCommitSmoke' ./internal/bench/
 
 # Full baseline: contention suite -> BENCH_proposer.json, validator suite ->
-# BENCH_validator.json, then the Go micro-benchmarks (allocation counts via
-# -benchmem).
+# BENCH_validator.json, state-commit suite -> BENCH_state.json, then the Go
+# micro-benchmarks (allocation counts via -benchmem).
 bench: bench-go
 	$(GO) run ./cmd/bpbench -exp contention -telemetry-report=false -bench-out BENCH_proposer.json
 	$(GO) run ./cmd/bpbench -exp validator -telemetry-report=false -bench-out BENCH_validator.json
+	$(GO) run ./cmd/bpbench -exp state -telemetry-report=false -bench-out BENCH_state.json
+
+# State-commit suite alone (the commit & root-hash tail across worker
+# counts): writes BENCH_state.json.
+bench-state:
+	$(GO) run ./cmd/bpbench -exp state -telemetry-report=false -bench-out BENCH_state.json
 
 bench-go:
 	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/bench/ ./internal/scheduler/ ./internal/mempool/

@@ -61,6 +61,7 @@ func main() {
 	flightOn := flag.Bool("flight", false, "enable the transaction flight recorder (per-tx lifecycle events + conflict attribution)")
 	flightOut := flag.String("flight-out", "", "write a Perfetto/Chrome trace.json of the run to this path (implies -flight)")
 	flightRing := flag.Int("flight-ring", 0, "flight recorder ring capacity per worker lane (0 = default)")
+	commitWorkers := flag.Int("commit-workers", 0, "state commit & root hashing workers at every seal/verify site (0 = auto, 1 = serial ablation)")
 	flag.Parse()
 
 	// The HTTP server shuts down when the run finishes or on SIGINT.
@@ -106,6 +107,7 @@ func main() {
 	gen := workload.New(cfg)
 	genesis := gen.GenesisState()
 	params := chain.DefaultParams()
+	params.CommitWorkers = *commitWorkers
 
 	// Proposer identities double as coinbases.
 	ids := make([]types.Address, *proposers)

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention|validator")
+	exp := flag.String("exp", "all", "experiment: all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention|validator|state")
 	blocks := flag.Int("blocks", 20, "blocks per experiment")
 	repeats := flag.Int("repeats", 3, "timing repeats per point")
 	mode := flag.String("mode", "virtual", "timing mode: virtual|wall")
@@ -38,6 +38,7 @@ func main() {
 	report := flag.Bool("telemetry-report", true, "print the telemetry report table after the run (text mode)")
 	benchOut := flag.String("bench-out", "", "contention: also write the result as JSON to this file (e.g. BENCH_proposer.json)")
 	quick := flag.Bool("quick", false, "contention: use the reduced CI-smoke workload")
+	commitWorkers := flag.Int("commit-workers", 0, "state commit & root hashing workers at every seal/verify site (0 = auto, 1 = serial ablation)")
 	flag.Parse()
 
 	telemetry.Enable()
@@ -46,6 +47,7 @@ func main() {
 	o.Blocks = *blocks
 	o.Repeats = *repeats
 	o.Workload.Seed = *seed
+	o.Params.CommitWorkers = *commitWorkers
 	switch *mode {
 	case "virtual":
 		o.Mode = bench.Virtual
@@ -147,8 +149,25 @@ func main() {
 			fmt.Printf("wrote %s\n", *benchOut)
 		}
 	}
+	// The state-commit suite, like contention, measures real elapsed time and
+	// is excluded from "all"; run it explicitly with -exp state.
+	if *exp == "state" {
+		ran = true
+		so := bench.DefaultStateBenchOptions()
+		if *quick {
+			so = bench.QuickStateBenchOptions()
+		}
+		so.Seed = *seed
+		res, err := bench.RunStateBench(so)
+		fatalIf(err)
+		fmt.Println(res.Render())
+		if *benchOut != "" {
+			fatalIf(res.WriteJSON(*benchOut))
+			fmt.Printf("wrote %s\n", *benchOut)
+		}
+	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q; want one of all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention|validator", *exp))
+		fatal(fmt.Errorf("unknown experiment %q; want one of all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention|validator|state", *exp))
 	}
 
 	// End-of-run telemetry: machine-readable snapshot (-json) so BENCH_*.json

@@ -170,11 +170,11 @@ func ValidateOCC(parent *state.Snapshot, parentHeader *types.Header, block *type
 	}
 
 	total.Merge(chain.FinalizationChange(accum, h.Coinbase, &fees, params))
-	postState := parent.Commit(total)
+	postState, postRoot := chain.CommitAndRoot(parent, total, params, h.Number)
 	if cumulative != h.GasUsed ||
 		types.ComputeReceiptRoot(receipts) != h.ReceiptRoot ||
 		types.CreateBloom(receipts) != h.LogsBloom ||
-		postState.Root() != h.StateRoot {
+		postRoot != h.StateRoot {
 		// Either the block is invalid, or a dirty transaction's re-execution
 		// wrote keys its speculation did not, silently staling a "clean"
 		// result. Fall back to full serial re-validation — the abort path a

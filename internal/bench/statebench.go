@@ -1,0 +1,235 @@
+// State-commit wall-clock benchmark suite: measures the seal/verify tail in
+// isolation — world-state commit (storage tries + accounts trie) and Merkle
+// root hashing — across commit worker counts against the pre-parallel serial
+// path (`Snapshot.Commit` + `Root`), which is exactly what `CommitWorkers: 1`
+// resolves to. `make bench-state` runs this via
+// `bpbench -exp state -bench-out BENCH_state.json` so commit-path changes
+// have a trajectory to compare against.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"blockpilot/internal/chain"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// StateBenchOptions sizes the state-commit wall-clock suite.
+type StateBenchOptions struct {
+	Accounts  int   // accounts touched per change set (fan-out width)
+	MaxSlots  int   // max storage slots written per contract account
+	Steps     int   // chained commits per measurement (a mini block sequence)
+	Workers   []int // commit worker sweep (1 = serial ablation)
+	Repeats   int   // timing repeats per point (best-of)
+	Seed      int64
+	BaseAccts int // accounts pre-committed before timing (trie depth)
+}
+
+// DefaultStateBenchOptions is the `make bench-state` configuration: change
+// sets about the size a full 30M-gas block produces (hundreds of accounts,
+// a few storage writes each) over a pre-grown accounts trie.
+func DefaultStateBenchOptions() StateBenchOptions {
+	return StateBenchOptions{
+		Accounts:  240,
+		MaxSlots:  12,
+		Steps:     6,
+		Workers:   []int{1, 2, 4, 8},
+		Repeats:   3,
+		Seed:      1,
+		BaseAccts: 4000,
+	}
+}
+
+// QuickStateBenchOptions is the CI smoke configuration.
+func QuickStateBenchOptions() StateBenchOptions {
+	return StateBenchOptions{
+		Accounts:  48,
+		MaxSlots:  6,
+		Steps:     2,
+		Workers:   []int{1, 4},
+		Repeats:   1,
+		Seed:      1,
+		BaseAccts: 256,
+	}
+}
+
+// benchChangeSet builds one randomized change set: a mix of EOA balance/nonce
+// updates, contract deployments (code set), storage writes and zeroed slots
+// (deletes), over an address space that collides run-to-run so later commits
+// overwrite earlier accounts — the same shape the parity tests use.
+func benchChangeSet(r *rand.Rand, nAccounts, addrSpace, maxSlots int) *state.ChangeSet {
+	cs := state.NewChangeSet()
+	for len(cs.Accounts) < nAccounts {
+		var addr types.Address
+		v := r.Intn(addrSpace * 8)
+		addr[0] = byte(v)
+		addr[1] = byte(v >> 8)
+		addr[19] = 0xBB
+		ch := &state.AccountChange{Nonce: uint64(r.Intn(1 << 20))}
+		ch.Balance.SetUint64(uint64(r.Int63()))
+		switch r.Intn(4) {
+		case 0: // plain EOA change
+		case 1: // contract deploy: code + storage
+			code := make([]byte, 1+r.Intn(96))
+			r.Read(code)
+			ch.Code, ch.CodeSet = code, true
+			fallthrough
+		default: // storage writes, some zeroed (deletes)
+			ch.Storage = make(map[types.Hash]uint256.Int)
+			for s := 0; s < 1+r.Intn(maxSlots); s++ {
+				var slot types.Hash
+				slot[0] = byte(r.Intn(64))
+				slot[31] = byte(r.Intn(8))
+				var sv uint256.Int
+				if r.Intn(4) != 0 {
+					sv.SetUint64(uint64(r.Int63()))
+				}
+				ch.Storage[slot] = sv
+			}
+		}
+		cs.Accounts[addr] = ch
+	}
+	return cs
+}
+
+// StatePoint is one commit-worker measurement: wall time to commit and
+// root-hash the whole chained change-set sequence.
+type StatePoint struct {
+	Workers       int     `json:"workers"`
+	Steps         int     `json:"steps"`
+	Accounts      int     `json:"accounts_per_step"`
+	ElapsedMs     float64 `json:"elapsed_ms"` // fastest repeat, all steps
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	Speedup       float64 `json:"speedup_vs_serial"` // serial Commit+Root ÷ this point
+}
+
+// StateBenchResult is the suite's outcome — the BENCH_state.json trajectory
+// payload. FinalRoot is identical across every point by construction (the
+// suite hard-fails otherwise), so the file doubles as a parity witness.
+type StateBenchResult struct {
+	TakenAt    time.Time    `json:"taken_at"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	SerialMs   float64      `json:"serial_ms"` // pre-parallel Commit + Root path
+	FinalRoot  string       `json:"final_root"`
+	Points     []StatePoint `json:"points"`
+
+	// SpeedupAt4 is serial ÷ CommitParallel+RootParallel wall time at 4
+	// workers (meaningful only on a multicore host). Workers1DeltaPct is the
+	// workers=1 ablation's elapsed time relative to the serial baseline in
+	// percent (≈0 expected: workers=1 resolves to the identical serial code).
+	SpeedupAt4       float64 `json:"speedup_at_4_workers,omitempty"`
+	Workers1DeltaPct float64 `json:"workers_1_delta_pct"`
+}
+
+// RunStateBench runs the suite: one serial baseline over the chained change
+// sets, then the worker sweep through chain.CommitAndRoot (the real seal tail
+// call path, so telemetry histograms fill in too). Every point must converge
+// on the serial final root.
+func RunStateBench(o StateBenchOptions) (*StateBenchResult, error) {
+	res := &StateBenchResult{
+		TakenAt:    time.Now().UTC(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	// Pre-grow a base snapshot so the accounts trie has realistic depth, and
+	// pre-build the timed change-set chain (identical for every point).
+	r := rand.New(rand.NewSource(o.Seed))
+	base := state.NewSnapshot().Commit(benchChangeSet(r, o.BaseAccts, o.BaseAccts, o.MaxSlots))
+	sets := make([]*state.ChangeSet, o.Steps)
+	for i := range sets {
+		sets[i] = benchChangeSet(r, o.Accounts, o.BaseAccts, o.MaxSlots)
+	}
+
+	// Serial baseline: the pre-parallel Commit + Root path, best-of-Repeats.
+	var serialRoot types.Hash
+	serial := time.Duration(1<<63 - 1)
+	for rep := 0; rep < o.Repeats; rep++ {
+		start := time.Now()
+		st := base
+		for _, cs := range sets {
+			st = st.Commit(cs)
+			serialRoot = st.Root()
+		}
+		if d := time.Since(start); d < serial {
+			serial = d
+		}
+	}
+	res.SerialMs = float64(serial.Nanoseconds()) / 1e6
+	res.FinalRoot = serialRoot.String()
+
+	for _, w := range o.Workers {
+		params := chain.DefaultParams()
+		params.CommitWorkers = w
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < o.Repeats; rep++ {
+			start := time.Now()
+			st := base
+			var root types.Hash
+			for i, cs := range sets {
+				st, root = chain.CommitAndRoot(st, cs, params, uint64(i+1))
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			if root != serialRoot {
+				return nil, fmt.Errorf("statebench: workers=%d final root %s != serial %s", w, root, serialRoot)
+			}
+		}
+		p := StatePoint{
+			Workers:   w,
+			Steps:     o.Steps,
+			Accounts:  o.Accounts,
+			ElapsedMs: float64(best.Nanoseconds()) / 1e6,
+		}
+		if s := best.Seconds(); s > 0 {
+			p.CommitsPerSec = float64(o.Steps) / s
+		}
+		if p.ElapsedMs > 0 {
+			p.Speedup = res.SerialMs / p.ElapsedMs
+		}
+		res.Points = append(res.Points, p)
+		switch w {
+		case 1:
+			if res.SerialMs > 0 {
+				res.Workers1DeltaPct = (p.ElapsedMs - res.SerialMs) / res.SerialMs * 100
+			}
+		case 4:
+			res.SpeedupAt4 = p.Speedup
+		}
+	}
+	return res, nil
+}
+
+// WriteJSON persists the result (the BENCH_state.json trajectory file).
+func (r *StateBenchResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Render prints the suite as a text table.
+func (r *StateBenchResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "State-commit wall-clock suite — GOMAXPROCS=%d, NumCPU=%d (speedups need a multicore host)\n\n",
+		r.GOMAXPROCS, r.NumCPU)
+	fmt.Fprintf(&b, "  %-8s %10s %12s %12s\n", "workers", "chain ms", "commits/s", "vs serial")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-8d %10.2f %12.1f %11.2fx\n", p.Workers, p.ElapsedMs, p.CommitsPerSec, p.Speedup)
+	}
+	fmt.Fprintf(&b, "  serial Commit+Root baseline: %.2f ms (workers=1 delta %+.1f%%)\n",
+		r.SerialMs, r.Workers1DeltaPct)
+	fmt.Fprintf(&b, "  final root (identical across all points): %s\n", r.FinalRoot)
+	return b.String()
+}

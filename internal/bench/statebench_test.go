@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestStateCommitSmoke runs the quick state-commit suite end to end: every
+// worker count must converge on the serial final root and produce sane
+// timings. Part of `make ci` (bench-smoke), so the commit path cannot
+// silently diverge from the serial baseline.
+func TestStateCommitSmoke(t *testing.T) {
+	o := QuickStateBenchOptions()
+	res, err := RunStateBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(o.Workers) {
+		t.Fatalf("want %d points, got %d", len(o.Workers), len(res.Points))
+	}
+	if res.FinalRoot == "" {
+		t.Fatal("missing final root")
+	}
+	for _, p := range res.Points {
+		if p.ElapsedMs <= 0 {
+			t.Fatalf("workers=%d: non-positive elapsed %f", p.Workers, p.ElapsedMs)
+		}
+		if p.Speedup <= 0 {
+			t.Fatalf("workers=%d: non-positive speedup %f", p.Workers, p.Speedup)
+		}
+	}
+	if res.SerialMs <= 0 {
+		t.Fatalf("non-positive serial baseline %f", res.SerialMs)
+	}
+}

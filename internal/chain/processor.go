@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"blockpilot/internal/state"
+	"blockpilot/internal/telemetry"
 	"blockpilot/internal/types"
 	"blockpilot/internal/uint256"
 )
@@ -53,9 +54,38 @@ func ExecuteSerial(parent *state.Snapshot, header *types.Header, txs []*types.Tr
 	final := FinalizationChange(accum, header.Coinbase, &res.Fees, params)
 	total.Merge(final)
 
-	res.State = parent.Commit(total)
+	res.State, _ = CommitAndRoot(parent, total, params, header.Number)
 	res.Changes = total
 	return res, nil
+}
+
+// CommitAndRoot commits total onto parent and computes the post-state root,
+// parallelized per params.CommitWorkers (see Params.ResolveCommitWorkers).
+// This is the single seal/verify commit tail shared by the serial processor,
+// the OCC-WSI proposer, the parallel validator, and the OCC baseline — every
+// worker count produces bit-identical snapshots and roots, so the knob is
+// purely a performance ablation. Both phases are recorded in telemetry
+// (state commit duration, root hash duration, account / storage-trie fanout).
+func CommitAndRoot(parent *state.Snapshot, total *state.ChangeSet, params Params, height uint64) (*state.Snapshot, types.Hash) {
+	w := params.ResolveCommitWorkers()
+
+	span := telemetry.StartSpan("state.commit", height, telemetry.StateCommitSeconds)
+	post := parent.CommitParallel(total, w)
+	span.End()
+
+	rspan := telemetry.StartSpan("state.root_hash", height, telemetry.StateRootHashSeconds)
+	root := post.RootParallel(w)
+	rspan.End()
+
+	storageTries := 0
+	for _, ch := range total.Accounts {
+		if len(ch.Storage) > 0 {
+			storageTries++
+		}
+	}
+	telemetry.StateCommitAccounts.Observe(uint64(len(total.Accounts)))
+	telemetry.StateCommitStorageTries.Observe(uint64(storageTries))
+	return post, root
 }
 
 // FinalizationChange builds the coinbase credit (fees + block reward) as a

@@ -8,6 +8,7 @@ package chain
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"blockpilot/internal/evm"
 	"blockpilot/internal/state"
@@ -25,11 +26,38 @@ var (
 	ErrGasLimitReached   = errors.New("chain: block gas limit reached")
 )
 
-// Params are chain-wide constants.
+// Params are chain-wide constants plus node-local execution knobs that every
+// seal/verify call site shares.
 type Params struct {
 	ChainID     uint64
 	GasLimit    uint64 // block gas limit
 	BlockReward uint64 // credited to the coinbase at block finalization
+	// CommitWorkers sets the parallelism of the state commit & Merkle root
+	// hashing tail at every seal/verify site (proposer, validator, serial
+	// processor). 0 = auto (GOMAXPROCS capped at MaxAutoCommitWorkers);
+	// 1 = the pre-parallel serial path, kept as the ablation behind the
+	// `-commit-workers` CLI flag. Purely a performance knob: every worker
+	// count produces bit-identical roots.
+	CommitWorkers int
+}
+
+// MaxAutoCommitWorkers caps auto-resolved commit parallelism: beyond ~8
+// workers the accounts-trie batch insert (the serial tail of the tail)
+// dominates and extra goroutines only add scheduling noise.
+const MaxAutoCommitWorkers = 8
+
+// ResolveCommitWorkers maps the CommitWorkers knob to an effective worker
+// count: 0 → min(GOMAXPROCS, MaxAutoCommitWorkers), otherwise the value
+// itself (1 = serial ablation).
+func (p Params) ResolveCommitWorkers() int {
+	if p.CommitWorkers > 0 {
+		return p.CommitWorkers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > MaxAutoCommitWorkers {
+		w = MaxAutoCommitWorkers
+	}
+	return w
 }
 
 // DefaultParams mirrors a mainnet-ish configuration.

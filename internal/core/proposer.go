@@ -295,11 +295,11 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 	accum := state.NewMemory(parent)
 	accum.ApplyChangeSet(total)
 	total.Merge(chain.FinalizationChange(accum, cfg.Coinbase, &fees, params))
-	postState := parent.Commit(total)
+	postState, stateRoot := chain.CommitAndRoot(parent, total, params, height)
 
 	telemetry.ProposerBlockTxs.Observe(uint64(len(committed)))
 	header.GasUsed = gasUsed.Load()
-	header.StateRoot = postState.Root()
+	header.StateRoot = stateRoot
 	header.TxRoot = types.ComputeTxRoot(txs)
 	header.ReceiptRoot = types.ComputeReceiptRoot(receipts)
 	header.LogsBloom = types.CreateBloom(receipts)

@@ -9,6 +9,7 @@ package crypto
 import (
 	"encoding/binary"
 	"math/bits"
+	"sync"
 )
 
 // roundConstants are the keccak-f[1600] iota round constants.
@@ -104,6 +105,15 @@ func (k *Keccak) absorb() {
 // Sum appends the 32-byte digest to b. The hasher can keep absorbing
 // afterwards as if Sum had not been called.
 func (k *Keccak) Sum(b []byte) []byte {
+	var out [32]byte
+	k.SumInto(&out)
+	return append(b, out[:]...)
+}
+
+// SumInto writes the 32-byte digest into dst without allocating. Like Sum,
+// the hasher can keep absorbing afterwards as if SumInto had not been
+// called. This is the zero-alloc primitive the trie/state hot paths use.
+func (k *Keccak) SumInto(dst *[32]byte) {
 	// Work on a copy so the caller can continue writing.
 	dup := *k
 	// Legacy Keccak multi-rate padding: 0x01 ... 0x80 (possibly same byte).
@@ -115,11 +125,9 @@ func (k *Keccak) Sum(b []byte) []byte {
 	dup.buffed = rate
 	dup.absorb()
 
-	var out [32]byte
 	for i := 0; i < 4; i++ {
-		binary.LittleEndian.PutUint64(out[i*8:], dup.state[i])
+		binary.LittleEndian.PutUint64(dst[i*8:], dup.state[i])
 	}
-	return append(b, out[:]...)
 }
 
 // Size returns the digest length in bytes.
@@ -139,7 +147,41 @@ func Keccak256(data ...[]byte) []byte {
 
 // Sum256 returns the Keccak-256 digest of data as a fixed array.
 func Sum256(data []byte) [32]byte {
+	var k Keccak
+	k.Write(data)
 	var out [32]byte
-	copy(out[:], Keccak256(data))
+	k.SumInto(&out)
 	return out
+}
+
+// hasherPool recycles Keccak states across the trie/state commit hot paths.
+// A Keccak is ~350 bytes of pure value state, so pooling avoids both the
+// allocation and the zeroing cost when a hash is computed deep inside a
+// per-node loop. Callers must Reset-and-return via PutHasher.
+var hasherPool = sync.Pool{New: func() any { return new(Keccak) }}
+
+// GetHasher returns a reset Keccak-256 hasher from the shared pool.
+func GetHasher() *Keccak {
+	return hasherPool.Get().(*Keccak)
+}
+
+// PutHasher resets k and returns it to the shared pool. k must not be used
+// after the call.
+func PutHasher(k *Keccak) {
+	k.Reset()
+	hasherPool.Put(k)
+}
+
+// Keccak256Into writes the Keccak-256 digest of the concatenation of the
+// inputs into dst. It allocates nothing: the sponge comes from the shared
+// pool and the digest lands in caller-owned memory. This is the primitive
+// behind the state commit path's hashed-key cache.
+func Keccak256Into(dst *[32]byte, data ...[]byte) {
+	k := hasherPool.Get().(*Keccak)
+	for _, d := range data {
+		k.Write(d)
+	}
+	k.SumInto(dst)
+	k.Reset()
+	hasherPool.Put(k)
 }

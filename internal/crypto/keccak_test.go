@@ -95,6 +95,80 @@ func TestReset(t *testing.T) {
 	}
 }
 
+func TestKeccak256IntoMatchesKeccak256(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for size := 0; size < 600; size += 13 {
+		data := make([]byte, size)
+		r.Read(data)
+		var got [32]byte
+		Keccak256Into(&got, data)
+		if !bytes.Equal(got[:], Keccak256(data)) {
+			t.Fatalf("Keccak256Into mismatch at size %d", size)
+		}
+	}
+	// Multi-input concatenation parity.
+	var got [32]byte
+	Keccak256Into(&got, []byte("foo"), []byte("bar"))
+	if !bytes.Equal(got[:], Keccak256([]byte("foobar"))) {
+		t.Fatal("Keccak256Into multi-input is not concatenation")
+	}
+}
+
+func TestSumIntoDoesNotDisturbState(t *testing.T) {
+	k := NewKeccak()
+	k.Write([]byte("hello "))
+	var mid [32]byte
+	k.SumInto(&mid) // mid-stream digest
+	k.Write([]byte("world"))
+	var got [32]byte
+	k.SumInto(&got)
+	if !bytes.Equal(got[:], Keccak256([]byte("hello world"))) {
+		t.Fatal("SumInto disturbed absorbing state")
+	}
+}
+
+func TestPooledHasherReuse(t *testing.T) {
+	k := GetHasher()
+	k.Write([]byte("junk"))
+	PutHasher(k)
+	k2 := GetHasher()
+	defer PutHasher(k2)
+	k2.Write([]byte("abc"))
+	var got [32]byte
+	k2.SumInto(&got)
+	want, _ := hex.DecodeString(katVectors[1].want)
+	if !bytes.Equal(got[:], want) {
+		t.Fatal("pooled hasher came back dirty")
+	}
+}
+
+// TestKeccak256IntoZeroAlloc is the satellite's CI gate: the 32-byte hot
+// path (hashed address/slot keys) must not allocate at all.
+func TestKeccak256IntoZeroAlloc(t *testing.T) {
+	data := make([]byte, 32)
+	var out [32]byte
+	if allocs := testing.AllocsPerRun(200, func() {
+		Keccak256Into(&out, data)
+	}); allocs != 0 {
+		t.Fatalf("Keccak256Into(32B) allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		_ = Sum256(data)
+	}); allocs != 0 {
+		t.Fatalf("Sum256(32B) allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkKeccak256Into_32(b *testing.B) {
+	data := make([]byte, 32)
+	var out [32]byte
+	b.SetBytes(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Keccak256Into(&out, data)
+	}
+}
+
 func BenchmarkKeccak256_32(b *testing.B) {
 	data := make([]byte, 32)
 	b.SetBytes(32)

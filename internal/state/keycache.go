@@ -1,0 +1,85 @@
+package state
+
+import (
+	"sync"
+
+	"blockpilot/internal/crypto"
+	"blockpilot/internal/types"
+)
+
+// keyCache memoizes the trie keys of the world state — keccak(address) for
+// account leaves and keccak(slot) for storage leaves. Before this cache,
+// every Snapshot read hashed its key on the way in and every Commit hashed
+// the same keys again on the way out; with hot contracts a single block
+// recomputed identical digests hundreds of times. The cache is shared by a
+// snapshot and everything derived from it (Copy/Commit/CommitParallel pass
+// the pointer along), because the mapping is a pure function of the key and
+// never invalidates.
+//
+// Concurrency: snapshots are read concurrently by many overlays and
+// CommitParallel hashes keys from several workers, so the cache is sharded
+// 16 ways with per-shard RWMutexes. Each shard is capacity-bounded; when a
+// shard fills up it is reset rather than evicted entry-by-entry, which
+// keeps the common case (a working set far below the cap) a single RLock +
+// map hit with zero allocations beyond the 32-byte digest itself.
+type keyCache struct {
+	shards [keyCacheShards]keyCacheShard
+}
+
+const (
+	keyCacheShards = 16
+	// keyCacheShardCap bounds each shard (≈64K addresses + 64K slots across
+	// the cache, ~8 MB worst case) so a long-lived chain cannot grow it
+	// without bound.
+	keyCacheShardCap = 4096
+)
+
+type keyCacheShard struct {
+	mu    sync.RWMutex
+	addrs map[types.Address][]byte
+	slots map[types.Hash][]byte
+}
+
+func newKeyCache() *keyCache { return &keyCache{} }
+
+// HashedAddr returns keccak(addr.Bytes()), memoized.
+func (c *keyCache) HashedAddr(addr types.Address) []byte {
+	sh := &c.shards[addr[0]&(keyCacheShards-1)]
+	sh.mu.RLock()
+	h, ok := sh.addrs[addr]
+	sh.mu.RUnlock()
+	if ok {
+		return h
+	}
+	var d [32]byte
+	crypto.Keccak256Into(&d, addr[:])
+	h = d[:]
+	sh.mu.Lock()
+	if sh.addrs == nil || len(sh.addrs) >= keyCacheShardCap {
+		sh.addrs = make(map[types.Address][]byte, 64)
+	}
+	sh.addrs[addr] = h
+	sh.mu.Unlock()
+	return h
+}
+
+// HashedSlot returns keccak(slot.Bytes()), memoized.
+func (c *keyCache) HashedSlot(slot types.Hash) []byte {
+	sh := &c.shards[slot[0]&(keyCacheShards-1)]
+	sh.mu.RLock()
+	h, ok := sh.slots[slot]
+	sh.mu.RUnlock()
+	if ok {
+		return h
+	}
+	var d [32]byte
+	crypto.Keccak256Into(&d, slot[:])
+	h = d[:]
+	sh.mu.Lock()
+	if sh.slots == nil || len(sh.slots) >= keyCacheShardCap {
+		sh.slots = make(map[types.Hash][]byte, 64)
+	}
+	sh.slots[slot] = h
+	sh.mu.Unlock()
+	return h
+}

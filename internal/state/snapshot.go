@@ -1,6 +1,9 @@
 package state
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"blockpilot/internal/crypto"
 	"blockpilot/internal/rlp"
 	"blockpilot/internal/trie"
@@ -21,6 +24,11 @@ type Snapshot struct {
 	accounts *trie.Trie
 	storage  map[types.Address]*trie.Trie
 	codes    map[types.Hash][]byte
+	// keys memoizes keccak(addr)/keccak(slot) trie keys. It is shared (by
+	// pointer) with every snapshot derived from this one: the mapping is
+	// pure, so sharing is always safe and turns repeated per-lookup and
+	// per-commit hashing into a single computation per key.
+	keys *keyCache
 }
 
 // NewSnapshot returns an empty world state.
@@ -29,6 +37,7 @@ func NewSnapshot() *Snapshot {
 		accounts: trie.New(),
 		storage:  make(map[types.Address]*trie.Trie),
 		codes:    make(map[types.Hash][]byte),
+		keys:     newKeyCache(),
 	}
 }
 
@@ -75,9 +84,33 @@ func decodeAccount(b []byte) (decodedAccount, bool) {
 	return a, true
 }
 
+// hashedAddr returns the accounts-trie key for addr, memoized in the
+// snapshot's key cache.
+func (s *Snapshot) hashedAddr(addr types.Address) []byte {
+	if s.keys == nil { // zero-value safety for hand-rolled snapshots
+		return crypto.Keccak256(addr.Bytes())
+	}
+	return s.keys.HashedAddr(addr)
+}
+
+// hashedSlot returns the storage-trie key for slot, memoized.
+func (s *Snapshot) hashedSlot(slot types.Hash) []byte {
+	if s.keys == nil {
+		return crypto.Keccak256(slot.Bytes())
+	}
+	return s.keys.HashedSlot(slot)
+}
+
 // lookup fetches and decodes an account leaf; ok is false for absents.
 func (s *Snapshot) lookup(addr types.Address) (decodedAccount, bool) {
-	leaf := s.accounts.Get(crypto.Keccak256(addr.Bytes()))
+	return s.lookupHashed(s.hashedAddr(addr))
+}
+
+// lookupHashed is lookup with the trie key already computed — the commit
+// path hoists the hash so it is computed once per account instead of once
+// for the lookup and again for the trailing accounts.Update.
+func (s *Snapshot) lookupHashed(hashedAddr []byte) (decodedAccount, bool) {
+	leaf := s.accounts.Get(hashedAddr)
 	if leaf == nil {
 		return decodedAccount{}, false
 	}
@@ -124,7 +157,7 @@ func (s *Snapshot) Storage(addr types.Address, slot types.Hash) uint256.Int {
 	if !ok {
 		return v
 	}
-	leaf := st.Get(crypto.Keccak256(slot.Bytes()))
+	leaf := st.Get(s.hashedSlot(slot))
 	if leaf == nil {
 		return v
 	}
@@ -153,6 +186,7 @@ func (s *Snapshot) Copy() *Snapshot {
 		accounts: s.accounts.Copy(),
 		storage:  make(map[types.Address]*trie.Trie, len(s.storage)),
 		codes:    make(map[types.Hash][]byte, len(s.codes)),
+		keys:     s.keys,
 	}
 	for a, t := range s.storage {
 		ns.storage[a] = t // tries are persistent; Commit replaces, never mutates
@@ -164,17 +198,23 @@ func (s *Snapshot) Copy() *Snapshot {
 }
 
 // Commit applies a change set and returns the resulting snapshot. The
-// receiver is unchanged.
+// receiver is unchanged. This is the serial reference path (and the
+// `-commit-workers 1` ablation); CommitParallel must produce a bit-identical
+// snapshot.
 func (s *Snapshot) Commit(cs *ChangeSet) *Snapshot {
 	ns := &Snapshot{
 		accounts: s.accounts.Copy(),
 		storage:  s.storage,
 		codes:    s.codes,
+		keys:     s.keys,
 	}
 	storageCopied, codesCopied := false, false
 
 	for addr, ch := range cs.Accounts {
-		old, existed := s.lookup(addr)
+		// One keccak(addr) per account, shared by the lookup and the
+		// trailing accounts.Update (it used to be computed twice).
+		hashedAddr := s.hashedAddr(addr)
+		old, existed := s.lookupHashed(hashedAddr)
 		acct := old
 		acct.nonce = ch.Nonce
 		acct.balance = ch.Balance
@@ -210,21 +250,164 @@ func (s *Snapshot) Commit(cs *ChangeSet) *Snapshot {
 			} else {
 				st = st.Copy()
 			}
-			for slot, val := range ch.Storage {
-				key := crypto.Keccak256(slot.Bytes())
-				if val.IsZero() {
-					st.Delete(key)
-				} else {
-					st.Update(key, rlp.EncodeString(val.Bytes()))
-				}
-			}
-			ns.storage[addr] = st
-			acct.storageRoot = types.Hash(st.Hash())
+			ns.storage[addr] = s.applyStorage(st, ch.Storage)
+			acct.storageRoot = types.Hash(ns.storage[addr].Hash())
 		}
-		ns.accounts.Update(crypto.Keccak256(addr.Bytes()),
+		ns.accounts.Update(hashedAddr,
 			encodeAccount(acct.nonce, &acct.balance, acct.storageRoot, acct.codeHash))
 	}
 	return ns
+}
+
+// applyStorage batch-applies one account's dirty slots to its (already
+// copied, privately owned) storage trie. Zeroed slots become deletes —
+// trie.Batch treats empty values as deletions, matching Ethereum state
+// semantics.
+func (s *Snapshot) applyStorage(st *trie.Trie, slots map[types.Hash]uint256.Int) *trie.Trie {
+	keys := make([][]byte, 0, len(slots))
+	vals := make([][]byte, 0, len(slots))
+	for slot, val := range slots {
+		keys = append(keys, s.hashedSlot(slot))
+		if val.IsZero() {
+			vals = append(vals, nil)
+		} else {
+			vals = append(vals, rlp.EncodeString(val.Bytes()))
+		}
+	}
+	st.Batch(keys, vals)
+	return st
+}
+
+// minParallelCommitAccounts is the change-set size below which goroutine
+// fan-out costs more than the trie work it parallelizes.
+const minParallelCommitAccounts = 4
+
+// CommitParallel is Commit with the per-account work — parent lookup,
+// storage-trie update, storage-root hashing, account-leaf encoding — fanned
+// across `workers` goroutines. Accounts are independent by construction
+// (one storage trie each, disjoint leaves in the accounts trie), so the
+// only serial remainder is the map bookkeeping and a single batch insert
+// into the accounts trie. The resulting snapshot is bit-identical to
+// Commit(cs): same tries, same roots (parity suite in commit_test.go).
+//
+// workers <= 1 (the ablation) or a small change set falls back to Commit.
+func (s *Snapshot) CommitParallel(cs *ChangeSet, workers int) *Snapshot {
+	n := len(cs.Accounts)
+	if workers <= 1 || n < minParallelCommitAccounts {
+		return s.Commit(cs)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	type job struct {
+		addr types.Address
+		ch   *AccountChange
+	}
+	type result struct {
+		hashedAddr []byte
+		leaf       []byte
+		storage    *trie.Trie // nil when the account has no dirty slots
+		codeHash   types.Hash
+		code       []byte
+		codeSet    bool
+	}
+	jobs := make([]job, 0, n)
+	for addr, ch := range cs.Accounts {
+		jobs = append(jobs, job{addr: addr, ch: ch})
+	}
+	results := make([]result, n)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				addr, ch := jobs[i].addr, jobs[i].ch
+				hashedAddr := s.hashedAddr(addr)
+				old, existed := s.lookupHashed(hashedAddr)
+				acct := old
+				acct.nonce = ch.Nonce
+				acct.balance = ch.Balance
+				if !existed {
+					acct.codeHash = EmptyCodeHash
+					acct.storageRoot = types.Hash(trie.EmptyRoot)
+				}
+				r := &results[i]
+				if ch.CodeSet {
+					h := types.Hash(crypto.Sum256(ch.Code))
+					acct.codeHash = h
+					r.codeHash, r.code, r.codeSet = h, ch.Code, true
+				}
+				if len(ch.Storage) > 0 {
+					st := s.storage[addr] // reads of the immutable parent are safe
+					if st == nil {
+						st = trie.New()
+					} else {
+						st = st.Copy()
+					}
+					r.storage = s.applyStorage(st, ch.Storage)
+					acct.storageRoot = types.Hash(r.storage.Hash())
+				}
+				r.hashedAddr = hashedAddr
+				r.leaf = encodeAccount(acct.nonce, &acct.balance, acct.storageRoot, acct.codeHash)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Serial tail: assemble the maps and batch the account leaves into the
+	// accounts trie (sorted bottom-up build, one pass).
+	ns := &Snapshot{
+		accounts: s.accounts.Copy(),
+		storage:  s.storage,
+		codes:    s.codes,
+		keys:     s.keys,
+	}
+	storageCopied, codesCopied := false, false
+	keys := make([][]byte, n)
+	leaves := make([][]byte, n)
+	for i := range results {
+		r := &results[i]
+		keys[i] = r.hashedAddr
+		leaves[i] = r.leaf
+		if r.codeSet {
+			if !codesCopied {
+				codes := make(map[types.Hash][]byte, len(ns.codes)+1)
+				for k, v := range ns.codes {
+					codes[k] = v
+				}
+				ns.codes = codes
+				codesCopied = true
+			}
+			ns.codes[r.codeHash] = r.code
+		}
+		if r.storage != nil {
+			if !storageCopied {
+				storage := make(map[types.Address]*trie.Trie, len(ns.storage)+1)
+				for k, v := range ns.storage {
+					storage[k] = v
+				}
+				ns.storage = storage
+				storageCopied = true
+			}
+			ns.storage[jobs[i].addr] = r.storage
+		}
+	}
+	ns.accounts.Batch(keys, leaves)
+	return ns
+}
+
+// RootParallel returns the world-state root, hashing the accounts trie's
+// subtrees with up to `workers` goroutines. Bit-identical to Root().
+func (s *Snapshot) RootParallel(workers int) types.Hash {
+	return types.Hash(s.accounts.HashParallel(workers))
 }
 
 // ForEachAccount visits every account in the snapshot in hashed-key order.

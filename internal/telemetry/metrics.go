@@ -81,6 +81,20 @@ var (
 		"Shared worker-pool task queue depth (most recent observation).")
 )
 
+// State commit path (internal/state parallel commit & Merkle root hashing).
+// Observed by chain.CommitAndRoot at every seal/verify call site — proposer
+// seal, validator commitment, serial processor.
+var (
+	StateCommitSeconds = NewHistogram("blockpilot_state_commit_duration_ns",
+		"World-state commit time: change-set → new snapshot (storage tries + accounts trie).", "ns")
+	StateRootHashSeconds = NewHistogram("blockpilot_state_root_hash_duration_ns",
+		"Merkle state-root computation time over the freshly committed snapshot.", "ns")
+	StateCommitAccounts = NewHistogram("blockpilot_state_commit_accounts",
+		"Accounts updated per state commit (parallel fan-out width).", "")
+	StateCommitStorageTries = NewHistogram("blockpilot_state_commit_storage_tries",
+		"Contract storage tries rebuilt per state commit (per-account fan-out).", "")
+)
+
 // Mempool and network fabric.
 var (
 	MempoolPending = NewGauge("blockpilot_mempool_pending",
@@ -123,6 +137,8 @@ func DerivedStats(s *Snapshot) map[string]float64 {
 		"blockpilot_pipeline_commit_duration_ns",
 		"blockpilot_pipeline_block_duration_ns",
 		"blockpilot_proposer_block_duration_ns",
+		"blockpilot_state_commit_duration_ns",
+		"blockpilot_state_root_hash_duration_ns",
 	} {
 		h := s.Histogram(name)
 		if h == nil || h.Count == 0 {

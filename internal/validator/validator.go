@@ -286,8 +286,8 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 	accum := state.NewMemory(parent)
 	accum.ApplyChangeSet(total)
 	total.Merge(chain.FinalizationChange(accum, h.Coinbase, &fees, params))
-	postState := parent.Commit(total)
-	if got := postState.Root(); got != h.StateRoot {
+	postState, got := chain.CommitAndRoot(parent, total, params, h.Number)
+	if got != h.StateRoot {
 		return nil, fmt.Errorf("%w: state root %s != header %s", ErrBadBlock, got, h.StateRoot)
 	}
 	return &Result{State: postState, Receipts: receipts, Stats: stats}, nil
