@@ -1,8 +1,11 @@
 # BlockPilot CI entry points. `make ci` is what the tier-1 gate runs:
 # vet + build + full test suite + race detector on the concurrency-heavy
-# packages (OCC-WSI core, mempool, pipeline, telemetry, flight recorder) +
-# the flight-recorder disabled-path budget gate + a short-mode smoke of the
-# contention benchmark suite.
+# packages (OCC-WSI core, mempool, pipeline, network, sim, telemetry, flight
+# recorder) + the flight-recorder disabled-path budget gate + a short-mode
+# smoke of the contention benchmark suite + the cluster-simulator scenario
+# matrix with its mutation self-check (sim-smoke) + a short corpus pass over
+# the fuzz targets (fuzz-smoke). See docs/TESTING.md for the oracle
+# definitions, the scenario matrix, and seed-replay instructions.
 #
 # `make bench` records the performance baseline: the contention suite
 # (striped vs single-lock MVState, mempool batching, end-to-end Propose)
@@ -17,11 +20,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race flight-budget bench-smoke bench bench-go bench-state telemetry-bench flight-bench trace-demo clean
+.PHONY: all ci vet build test race race-all flight-budget bench-smoke sim-smoke fuzz-smoke bench bench-go bench-state telemetry-bench flight-bench trace-demo clean
 
 all: ci
 
-ci: vet build test race flight-budget bench-smoke
+ci: vet build test race flight-budget bench-smoke sim-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,7 +36,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/mempool/... ./internal/pipeline/... ./internal/telemetry/... ./internal/flight/... ./internal/trie/... ./internal/state/...
+	$(GO) test -race ./internal/core/... ./internal/mempool/... ./internal/pipeline/... ./internal/network/... ./internal/telemetry/... ./internal/flight/... ./internal/trie/... ./internal/state/...
+
+# Race detector over the *entire* module, cluster simulator included. Slower
+# than `race`; run before merging concurrency changes.
+race-all:
+	$(GO) test -race ./...
 
 # The flight recorder's zero-cost gate: with no recorder installed the
 # hot-path helpers must stay within the ns budget and allocate nothing.
@@ -44,6 +52,21 @@ flight-budget:
 # path, seconds of runtime, no artifact written.
 bench-smoke:
 	$(GO) test -short -run 'TestContentionSmoke|TestStateCommitSmoke' ./internal/bench/
+
+# Cluster-simulator gate: every fault scenario (9) at 4 seeds, all four
+# oracles checked per run, digest-determinism double-runs, and the seeded-bug
+# mutation self-check. A failing run prints `bpbench -exp sim -scenario S
+# -seed N` to replay it exactly.
+sim-smoke:
+	$(GO) test -count=1 -run 'TestScenarioMatrix|TestDigestDeterminism|TestMutationSelfCheck' ./internal/sim/
+
+# Short corpus pass over the property fuzz targets: a few seconds of input
+# generation per target, enough to exercise the generators and seed corpora
+# without the open-ended fuzzing budget (see docs/TESTING.md for long runs).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzTrieBatchVsUpdate -fuzztime 3s ./internal/trie/
+	$(GO) test -run '^$$' -fuzz FuzzBlockProfileRoundTrip -fuzztime 3s ./internal/types/
+	$(GO) test -run '^$$' -fuzz FuzzMempoolAdmit -fuzztime 3s ./internal/mempool/
 
 # Full baseline: contention suite -> BENCH_proposer.json, validator suite ->
 # BENCH_validator.json, state-commit suite -> BENCH_state.json, then the Go

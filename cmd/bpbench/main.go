@@ -8,6 +8,12 @@
 //	bpbench -exp all                 # everything (default)
 //	bpbench -exp fig7a -blocks 40    # one experiment, more blocks
 //	bpbench -exp fig9 -mode wall     # wall-clock mode (needs a multicore host)
+//	bpbench -exp sim -scenario chaos -seed 7   # fault-injecting cluster sim
+//
+// `-exp sim` runs the deterministic cluster simulator (internal/sim): every
+// scenario (or one, with -scenario) at the given -seed, checking the
+// serializability / parity / pipeline-safety / corruption oracles and the
+// mutation self-check. Oracle failures print a repro line and exit 1.
 //
 // Modes: "virtual" (default) measures every transaction's real execution
 // cost and derives parallel makespans with a deterministic simulator of the
@@ -24,11 +30,12 @@ import (
 	"strings"
 
 	"blockpilot/internal/bench"
+	"blockpilot/internal/sim"
 	"blockpilot/internal/telemetry"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention|validator|state")
+	exp := flag.String("exp", "all", "experiment: all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention|validator|state|sim")
 	blocks := flag.Int("blocks", 20, "blocks per experiment")
 	repeats := flag.Int("repeats", 3, "timing repeats per point")
 	mode := flag.String("mode", "virtual", "timing mode: virtual|wall")
@@ -39,6 +46,10 @@ func main() {
 	benchOut := flag.String("bench-out", "", "contention: also write the result as JSON to this file (e.g. BENCH_proposer.json)")
 	quick := flag.Bool("quick", false, "contention: use the reduced CI-smoke workload")
 	commitWorkers := flag.Int("commit-workers", 0, "state commit & root hashing workers at every seal/verify site (0 = auto, 1 = serial ablation)")
+	scenario := flag.String("scenario", "all", "sim: fault scenario ("+strings.Join(sim.Scenarios(), "|")+") or \"all\"")
+	simHeights := flag.Int("sim-heights", 0, "sim: canonical blocks per run (0 = scenario default)")
+	simValidators := flag.Int("sim-validators", 0, "sim: validator nodes per run (0 = scenario default)")
+	simMutation := flag.Bool("sim-mutation", true, "sim: also run the seeded-bug mutation self-check")
 	flag.Parse()
 
 	telemetry.Enable()
@@ -166,8 +177,40 @@ func main() {
 			fmt.Printf("wrote %s\n", *benchOut)
 		}
 	}
+	// The cluster simulator is a correctness harness, not a benchmark, so it
+	// is excluded from "all"; run it explicitly with -exp sim. A failing run
+	// prints its oracle violations and the exact repro line, then exits 1.
+	if *exp == "sim" {
+		ran = true
+		scenarios := sim.Scenarios()
+		if *scenario != "all" {
+			scenarios = []string{*scenario}
+		}
+		failed := false
+		for _, name := range scenarios {
+			cfg, err := sim.Preset(name, *seed)
+			fatalIf(err)
+			if *simHeights > 0 {
+				cfg.Heights = *simHeights
+			}
+			if *simValidators > 0 {
+				cfg.Validators = *simValidators
+			}
+			cfg.MutationCheck = *simMutation
+			rep, err := sim.Run(cfg)
+			fatalIf(err)
+			fmt.Println(rep.Render())
+			if !rep.OK() {
+				failed = true
+				fmt.Fprintf(os.Stderr, "bpbench: sim oracle failure — repro: %s\n", rep.ReproLine())
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q; want one of all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention|validator|state", *exp))
+		fatal(fmt.Errorf("unknown experiment %q; want one of all|correctness|fig6|fig7a|fig7b|fig8|fig9|ablation-sched|ablation-keys|ablation-proposer-keys|contention|validator|state|sim", *exp))
 	}
 
 	// End-of-run telemetry: machine-readable snapshot (-json) so BENCH_*.json

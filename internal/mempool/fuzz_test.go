@@ -1,0 +1,79 @@
+package mempool
+
+import (
+	"testing"
+
+	"blockpilot/internal/types"
+)
+
+// FuzzMempoolAdmit: for any admission program — out-of-order nonces,
+// duplicate (sender, nonce) replacements, arbitrary prices — the pool must
+// uphold its core invariants when drained with Pop+Done:
+//
+//   - per sender, popped nonces are strictly increasing (the one-resident-
+//     per-sender rule means no nonce can overtake a lower one);
+//   - every accepted transaction is popped exactly once and nothing else
+//     appears (conservation across the queue/heap/promote machinery);
+//   - the pool is empty afterwards.
+//
+// Each 3-byte record is (sender, nonce, price).
+func FuzzMempoolAdmit(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 5, 0, 1, 3, 1, 0, 9})
+	f.Add([]byte{0, 2, 5, 0, 0, 5, 0, 1, 5})       // out-of-order nonces
+	f.Add([]byte{0, 0, 10, 0, 0, 11, 0, 0, 90})    // same-nonce replacements
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 2, 0, 0, 2, 0}) // duplicate + truncated tail
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pool := New()
+		type slot struct{ sender, nonce byte }
+		accepted := make(map[slot]*types.Transaction)
+		for len(data) >= 3 {
+			sender, nonce, price := data[0]%6, data[1]%8, data[2]
+			data = data[3:]
+			var from types.Address
+			from[0], from[19] = 0xee, sender
+			tx := &types.Transaction{From: from, Nonce: uint64(nonce), Gas: 21000}
+			tx.GasPrice.SetUint64(uint64(price) + 1)
+			if err := pool.Add(tx); err == nil {
+				accepted[slot{sender, nonce}] = tx
+			}
+		}
+		total := len(accepted)
+		if got := pool.Len(); got != total {
+			t.Fatalf("pool holds %d txs, accepted %d", got, total)
+		}
+
+		lastNonce := make(map[types.Address]uint64)
+		popped := 0
+		for {
+			tx := pool.Pop()
+			if tx == nil {
+				break
+			}
+			popped++
+			if popped > total {
+				t.Fatalf("popped more txs (%d) than were accepted (%d)", popped, total)
+			}
+			if prev, ok := lastNonce[tx.From]; ok && tx.Nonce <= prev {
+				t.Fatalf("sender %s nonce %d popped after nonce %d", tx.From, tx.Nonce, prev)
+			}
+			lastNonce[tx.From] = tx.Nonce
+			want, ok := accepted[slot{tx.From[19], byte(tx.Nonce)}]
+			if !ok {
+				t.Fatalf("popped tx (%s, %d) was never accepted", tx.From, tx.Nonce)
+			}
+			if want != tx {
+				t.Fatalf("popped tx (%s, %d) is not the last accepted replacement", tx.From, tx.Nonce)
+			}
+			delete(accepted, slot{tx.From[19], byte(tx.Nonce)})
+			pool.Done(tx)
+		}
+		if len(accepted) != 0 {
+			t.Fatalf("%d accepted txs never popped", len(accepted))
+		}
+		if pool.Len() != 0 {
+			t.Fatalf("pool not empty after drain: %d left", pool.Len())
+		}
+	})
+}

@@ -12,6 +12,7 @@ package pipeline
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blockpilot/internal/chain"
@@ -34,6 +35,7 @@ type WorkerPool struct {
 	closed bool
 	tasks  chan func()
 	wg     sync.WaitGroup
+	wrap   atomic.Pointer[func(func()) func()]
 }
 
 // NewWorkerPool starts n workers.
@@ -64,9 +66,25 @@ func (p *WorkerPool) Submit(f func()) {
 	}
 }
 
+// SetTaskWrapper installs w around every subsequently submitted task (nil
+// removes it). The wrapper runs on the worker goroutine in place of the raw
+// task; it must call the function it was given exactly once. Fault-injection
+// harnesses (internal/sim) use this to stall pipeline stages mid-run without
+// touching task semantics.
+func (p *WorkerPool) SetTaskWrapper(w func(func()) func()) {
+	if w == nil {
+		p.wrap.Store(nil)
+		return
+	}
+	p.wrap.Store(&w)
+}
+
 // TrySubmit enqueues one lane, returning false if the pool is closed. It
 // may block while the queue is full (the workers drain it).
 func (p *WorkerPool) TrySubmit(f func()) bool {
+	if w := p.wrap.Load(); w != nil {
+		f = (*w)(f)
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {

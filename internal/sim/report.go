@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"blockpilot/internal/types"
+)
+
+// Stats summarizes one run.
+type Stats struct {
+	CanonicalBlocks int
+	ForkBlocks      int
+	TamperedCopies  int
+	TxGenerated     int
+	TxCommitted     int
+	TxPending       int
+	TxDropped       int
+	Committed       map[string]int // validator → blocks in its final chain
+	Rejections      map[string]int // validator → rejection outcomes observed
+	Incarnations    map[string]int // validator → lifetimes (1 + crash-restarts)
+}
+
+// Report is the outcome of one simulation run.
+type Report struct {
+	Cfg       Config
+	Digest    string // scheduling-independent run fingerprint
+	Problems  []string
+	Mutations []MutationCheck
+	Stats     Stats
+}
+
+// OK reports whether every oracle held and (when run) every seeded bug in
+// the mutation self-check was caught.
+func (r *Report) OK() bool {
+	if len(r.Problems) > 0 {
+		return false
+	}
+	for _, m := range r.Mutations {
+		if !m.Caught {
+			return false
+		}
+	}
+	return true
+}
+
+// ReproLine is the command that replays this exact run.
+func (r *Report) ReproLine() string {
+	return fmt.Sprintf("bpbench -exp sim -scenario %s -seed %d", r.Cfg.Scenario, r.Cfg.Seed)
+}
+
+// Render formats the report for the CLI.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim scenario=%s seed=%d heights=%d validators=%d\n",
+		r.Cfg.Scenario, r.Cfg.Seed, r.Cfg.Heights, r.Cfg.Validators)
+	fmt.Fprintf(&b, "  blocks: %d canonical, %d fork, %d tampered copies\n",
+		r.Stats.CanonicalBlocks, r.Stats.ForkBlocks, r.Stats.TamperedCopies)
+	fmt.Fprintf(&b, "  txs: %d generated, %d committed, %d pending, %d dropped\n",
+		r.Stats.TxGenerated, r.Stats.TxCommitted, r.Stats.TxPending, r.Stats.TxDropped)
+	names := make([]string, 0, len(r.Stats.Committed))
+	for name := range r.Stats.Committed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %s: %d blocks committed, %d rejections, %d incarnation(s)\n",
+			name, r.Stats.Committed[name], r.Stats.Rejections[name], r.Stats.Incarnations[name])
+	}
+	fmt.Fprintf(&b, "  digest: %s\n", r.Digest)
+	for _, m := range r.Mutations {
+		status := "caught"
+		if !m.Caught {
+			status = "MISSED"
+		}
+		fmt.Fprintf(&b, "  mutation %-20s %s — %s\n", m.Name, status, m.Detail)
+	}
+	if len(r.Problems) == 0 {
+		fmt.Fprintf(&b, "  oracles: all held\n")
+	} else {
+		fmt.Fprintf(&b, "  ORACLE FAILURES (%d):\n", len(r.Problems))
+		for _, p := range r.Problems {
+			fmt.Fprintf(&b, "    - %s\n", p)
+		}
+		fmt.Fprintf(&b, "  repro: %s\n", r.ReproLine())
+	}
+	return b.String()
+}
+
+// report assembles the Report after drive() finished: all four oracles,
+// the convergence check, and the run digest.
+func (r *runner) report() *Report {
+	rep := &Report{Cfg: r.cfg, Stats: r.stats()}
+	serialRoots := make(map[types.Hash]types.Hash, len(r.genuine))
+	rep.Problems = append(rep.Problems, r.checkSerializability(serialRoots)...)
+	rep.Problems = append(rep.Problems, r.checkParity(serialRoots)...)
+	rep.Problems = append(rep.Problems, r.checkPipelineSafety()...)
+	rep.Problems = append(rep.Problems, r.checkCorruption()...)
+	rep.Problems = append(rep.Problems, r.checkConvergence()...)
+	rep.Digest = r.digest()
+	return rep
+}

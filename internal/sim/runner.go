@@ -1,0 +1,532 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"blockpilot/internal/blockdb"
+	"blockpilot/internal/chain"
+	"blockpilot/internal/core"
+	"blockpilot/internal/mempool"
+	"blockpilot/internal/network"
+	"blockpilot/internal/pipeline"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/validator"
+	"blockpilot/internal/workload"
+)
+
+// proposerCoinbase tags canonical blocks; fork siblings flip the last byte.
+var proposerCoinbase = types.HexToAddress("0x00000000000000000000000000000000000000aa")
+
+// outcomeRec is one pipeline outcome in arrival order.
+type outcomeRec struct {
+	block *types.Block
+	err   error
+	root  types.Hash // committed post-state root (zero when rejected)
+}
+
+// incarnation is the outcome stream of one validator lifetime (between
+// crash-restarts).
+type incarnation struct {
+	outcomes []outcomeRec
+}
+
+// valNode is one validator: a network endpoint, a durable block log, and a
+// chain+pipeline pair that is discarded and replayed on crash-restart.
+type valNode struct {
+	name   string
+	node   *network.Node
+	wpool  *pipeline.WorkerPool
+	db     *blockdb.Store
+	dbPath string
+
+	chain *chain.Chain
+	pipe  *pipeline.Pipeline
+	done  chan struct{}
+
+	mu        sync.Mutex
+	incs      []*incarnation
+	delivered map[types.Hash]*types.Block // genuine blocks this node ever received
+}
+
+// start opens a fresh incarnation: new chain from genesis, new pipeline
+// over the shared worker pool, and a consumer goroutine that records
+// outcomes and persists accepted blocks.
+func (v *valNode) start(genesis *state.Snapshot, params chain.Params, threads int) {
+	v.chain = chain.NewChain(genesis, params)
+	v.pipe = pipeline.New(v.chain, validator.DefaultConfig(threads), v.wpool)
+	inc := &incarnation{}
+	v.mu.Lock()
+	v.incs = append(v.incs, inc)
+	v.mu.Unlock()
+	done := make(chan struct{})
+	v.done = done
+	pipe, db := v.pipe, v.db
+	go func() {
+		defer close(done)
+		for out := range pipe.Results() {
+			rec := outcomeRec{block: out.Block, err: out.Err}
+			if out.Err == nil {
+				if out.Result != nil {
+					rec.root = out.Result.State.Root()
+				}
+				_ = db.Put(out.Block) // durability: accepted blocks only
+			}
+			v.mu.Lock()
+			inc.outcomes = append(inc.outcomes, rec)
+			v.mu.Unlock()
+		}
+	}()
+}
+
+// stop closes the current incarnation's pipeline and waits for its outcome
+// stream to drain (parked blocks are abandoned with ErrParentUnavailable).
+func (v *valNode) stop() {
+	v.pipe.Close()
+	<-v.done
+}
+
+// crashRestart models a node crash: the in-memory chain and pipeline are
+// lost; the blockdb log survives and is replayed (ascending heights) into a
+// fresh incarnation — re-validating every persisted block from genesis.
+func (v *valNode) crashRestart(genesis *state.Snapshot, params chain.Params, threads int) error {
+	v.stop()
+	if err := v.db.Close(); err != nil {
+		return fmt.Errorf("sim: %s blockdb close: %w", v.name, err)
+	}
+	db, err := blockdb.Open(v.dbPath) // exercises the rebuild/torn-tail scan
+	if err != nil {
+		return fmt.Errorf("sim: %s blockdb reopen: %w", v.name, err)
+	}
+	v.db = db
+	v.start(genesis, params, threads)
+	for h := uint64(1); h <= db.MaxHeight(); h++ {
+		for _, hash := range db.HashesAt(h) {
+			b, err := db.Get(hash)
+			if err != nil {
+				return fmt.Errorf("sim: %s replay %d: %w", v.name, h, err)
+			}
+			v.pipe.Submit(b)
+		}
+	}
+	v.pipe.Wait()
+	return nil
+}
+
+// outcomesFor returns every outcome (across incarnations) for a block
+// pointer. Caller must not hold v.mu.
+func (v *valNode) outcomesFor(b *types.Block) []outcomeRec {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var out []outcomeRec
+	for _, inc := range v.incs {
+		for _, rec := range inc.outcomes {
+			if rec.block == b {
+				out = append(out, rec)
+			}
+		}
+	}
+	return out
+}
+
+// branch is a (post-state, header) pair a fork child can extend.
+type branch struct {
+	st     *state.Snapshot
+	header *types.Header
+}
+
+// runner holds one simulation's moving parts.
+type runner struct {
+	cfg    Config
+	params chain.Params
+	rng    *rand.Rand // sim-side choices (tamper target); independent of workload/fault streams
+	gen    *workload.Generator
+	ref    *chain.Chain // reference chain: every genuine block + post-state
+	pool   *mempool.Pool
+	net    *network.Network
+	vals   []*valNode
+
+	canonical []*types.Block               // index h-1 = canonical block at height h
+	genuine   map[types.Hash]*types.Block  // every honest block ever broadcast
+	heights   map[types.Hash]uint64        // genuine hash → height
+	tampers   []*tamperedInstance          // creation order
+	byPointer map[*types.Block]*tamperedInstance
+
+	txGenerated int
+	txCommitted int
+	txDropped   int
+}
+
+// Run executes one simulation and checks every oracle. The returned Report
+// is non-nil whenever the cluster itself ran to completion; infrastructure
+// errors (I/O, invalid config) return err instead.
+func Run(cfg Config) (*Report, error) {
+	cfg.Normalize()
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "blockpilot-sim-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	wcfg := workload.Default()
+	wcfg.NumAccounts = cfg.Accounts
+	wcfg.TxPerBlock = cfg.TxPerBlock
+	wcfg.NumTokens = 6
+	wcfg.NumPairs = 3
+	wcfg.NumMixers = 2
+	wcfg.SpinMin, wcfg.SpinMax = 50, 250
+	wcfg.Source = rand.NewSource(cfg.Seed)
+
+	params := chain.DefaultParams()
+	if cfg.GasLimit > 0 {
+		params.GasLimit = cfg.GasLimit
+	}
+
+	r := &runner{
+		cfg:       cfg,
+		params:    params,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed51)),
+		gen:       workload.New(wcfg),
+		pool:      mempool.New(),
+		net:       network.New(0),
+		genuine:   make(map[types.Hash]*types.Block),
+		heights:   make(map[types.Hash]uint64),
+		byPointer: make(map[*types.Block]*tamperedInstance),
+	}
+	genesis := r.gen.GenesisState()
+	r.ref = chain.NewChain(genesis, params)
+
+	r.net.SeedFaults(cfg.Seed)
+	r.net.SetDefaultFaults(network.LinkFaults{Drop: cfg.Drop, Duplicate: cfg.Duplicate, Reorder: cfg.Reorder})
+	pnode := r.net.Join("proposer", 64)
+
+	for i := 0; i < cfg.Validators; i++ {
+		name := fmt.Sprintf("v%d", i)
+		v := &valNode{
+			name:      name,
+			node:      r.net.Join(name, 4096),
+			wpool:     pipeline.NewWorkerPool(cfg.ValidatorThreads),
+			dbPath:    filepath.Join(dir, name+".blocks"),
+			delivered: make(map[types.Hash]*types.Block),
+		}
+		if cfg.StallEvery > 0 {
+			every := cfg.StallEvery
+			var n int64
+			var mu sync.Mutex
+			v.wpool.SetTaskWrapper(func(f func()) func() {
+				return func() {
+					mu.Lock()
+					n++
+					stall := n%int64(every) == 0
+					mu.Unlock()
+					if stall {
+						time.Sleep(500 * time.Microsecond)
+					}
+					f()
+				}
+			})
+		}
+		db, err := blockdb.Open(v.dbPath)
+		if err != nil {
+			return nil, err
+		}
+		v.db = db
+		v.start(genesis, params, cfg.ValidatorThreads)
+		r.vals = append(r.vals, v)
+	}
+
+	err := r.drive(pnode, genesis)
+	if err != nil {
+		// Tear down what we can before surfacing the error.
+		for _, v := range r.vals {
+			v.stop()
+			v.wpool.Close()
+			v.db.Close()
+		}
+		r.net.Close()
+		return nil, err
+	}
+
+	rep := r.report()
+	for _, v := range r.vals {
+		v.wpool.Close()
+		if err := v.db.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.MutationCheck {
+		rep.Mutations = SelfCheck(cfg)
+	}
+	return rep, nil
+}
+
+// drive runs the proposer loop, broadcast/fault schedule, and the
+// end-of-run convergence passes, leaving every validator stopped.
+func (r *runner) drive(pnode *network.Node, genesis *state.Snapshot) error {
+	cfg := r.cfg
+	tip := branch{st: genesis, header: &r.ref.Genesis().Header}
+	var lastFork *branch // first sibling of the previous burst (DeepForks)
+	tamperN := 0
+
+	for h := 1; h <= cfg.Heights; h++ {
+		if cfg.PartitionAt > 0 && h == cfg.PartitionAt {
+			isolated := make([]string, 0, len(r.vals)-1)
+			for _, v := range r.vals[1:] {
+				isolated = append(isolated, v.name)
+			}
+			if len(isolated) > 0 {
+				r.net.SetPartitions([]string{"proposer", r.vals[0].name}, isolated)
+			}
+		}
+		if cfg.HealAt > 0 && h == cfg.HealAt {
+			r.net.Heal()
+		}
+
+		// Canonical proposal (OCC-WSI) on the proposer's tip.
+		txs := r.gen.NextBlockTxs()
+		r.txGenerated += len(txs)
+		r.pool.AddAll(txs)
+		res, err := core.Propose(tip.st, tip.header, r.pool, core.ProposerConfig{
+			Threads: cfg.ProposerThreads, Coinbase: proposerCoinbase, Time: uint64(h),
+		}, r.params)
+		if err != nil {
+			return fmt.Errorf("sim: propose height %d: %w", h, err)
+		}
+		r.txCommitted += res.Committed
+		r.txDropped += res.Dropped
+		blk := res.Block
+		if err := r.ref.InsertWithReceipts(blk, res.State, res.Receipts); err != nil {
+			return fmt.Errorf("sim: ref insert height %d: %w", h, err)
+		}
+		r.canonical = append(r.canonical, blk)
+		r.genuine[blk.Hash()] = blk
+		r.heights[blk.Hash()] = uint64(h)
+		toSend := []*types.Block{blk}
+
+		// Deep fork: extend the previous burst's first sibling with this
+		// height's canonical transactions (valid there: sibling post-state
+		// has the same nonces as the canonical parent).
+		if cfg.DeepForks && lastFork != nil {
+			child, childBr, err := r.serialBlock(*lastFork, blk.Txs, uint64(h), 0x01)
+			if err != nil {
+				return fmt.Errorf("sim: fork child height %d: %w", h, err)
+			}
+			_ = childBr
+			toSend = append(toSend, child)
+			lastFork = nil
+		}
+
+		// Fork burst: siblings share the canonical parent and transactions
+		// but a distinct coinbase, so they carry distinct hashes and roots.
+		if cfg.ForkEvery > 0 && h%cfg.ForkEvery == 0 {
+			for i := 0; i < cfg.ForkWidth; i++ {
+				sib, sibBr, err := r.serialBlock(tip, blk.Txs, uint64(h), byte(0x10+i))
+				if err != nil {
+					return fmt.Errorf("sim: fork sibling height %d: %w", h, err)
+				}
+				toSend = append(toSend, sib)
+				if cfg.DeepForks && i == 0 {
+					lastFork = &sibBr
+				}
+			}
+		}
+
+		// Tampered copy: corrupt one of this height's genuine blocks,
+		// cycling deterministically through the tamper kinds.
+		if cfg.TamperEvery > 0 && h%cfg.TamperEvery == 0 {
+			target := toSend[r.rng.Intn(len(toSend))]
+			ti, err := makeTamper(target, tamperCycle[tamperN%len(tamperCycle)])
+			if err != nil {
+				return err
+			}
+			tamperN++
+			r.tampers = append(r.tampers, ti)
+			r.byPointer[ti.instance] = ti
+			toSend = append(toSend, ti.instance)
+		}
+
+		// Serialized broadcasts: with one publishing goroutine the fault
+		// PRNG consumption — hence the whole fault pattern — is a pure
+		// function of (seed, send sequence).
+		for _, b := range toSend {
+			pnode.Broadcast(b)
+		}
+
+		// Deliver: latency-0 sends are synchronous, so each validator's
+		// inbox already holds everything the faults let through (reorder
+		// holdbacks surface on a later height's traffic).
+		for _, v := range r.vals {
+			r.drainInbox(v)
+		}
+
+		tip = branch{st: res.State, header: &blk.Header}
+
+		if cfg.CrashAt > 0 && h == cfg.CrashAt {
+			v := r.vals[0]
+			if err := v.crashRestart(genesis, r.params, cfg.ValidatorThreads); err != nil {
+				return err
+			}
+		}
+	}
+
+	// End of run: heal, flush holdbacks and in-flight deliveries, drain.
+	r.net.Heal()
+	r.net.Flush()
+	for _, v := range r.vals {
+		r.drainInbox(v)
+		v.pipe.Wait()
+	}
+
+	// Anti-entropy 1: the proposer syncs every validator with the full
+	// canonical spine (models block fetch / snap sync after faults).
+	for pass := 0; pass < cfg.Heights+2; pass++ {
+		resent := false
+		for _, v := range r.vals {
+			for _, blk := range r.canonical {
+				if v.chain.Block(blk.Hash()) == nil {
+					v.delivered[blk.Hash()] = blk
+					v.pipe.Submit(blk)
+					resent = true
+				}
+			}
+			v.pipe.Wait()
+		}
+		if !resent {
+			break
+		}
+	}
+
+	// Anti-entropy 2: genuine fork blocks a validator received but lost to
+	// transient stranding (a tampered same-hash copy rejected first fails
+	// parked children) are recoverable by resubmission — but only once
+	// their parent actually validated.
+	for pass := 0; pass < cfg.Heights+2; pass++ {
+		resent := false
+		for _, v := range r.vals {
+			for _, blk := range r.sortedDelivered(v) {
+				if v.chain.Block(blk.Hash()) == nil && v.chain.StateOf(blk.Header.ParentHash) != nil {
+					v.pipe.Submit(blk)
+					resent = true
+				}
+			}
+			v.pipe.Wait()
+		}
+		if !resent {
+			break
+		}
+	}
+
+	// Anti-entropy 3: tampered instances that were only ever abandoned
+	// (parent missing at the time) get one more delivery now that parents
+	// are in, so every delivered corruption ends with a classified verdict.
+	for _, v := range r.vals {
+		for _, ti := range r.tampers {
+			if !ti.deliveredTo[v.name] || v.chain.StateOf(ti.instance.Header.ParentHash) == nil {
+				continue
+			}
+			if !classified(v.outcomesFor(ti.instance), ti) {
+				v.pipe.Submit(ti.instance)
+			}
+		}
+		v.pipe.Wait()
+	}
+
+	for _, v := range r.vals {
+		v.stop()
+	}
+	r.net.Close()
+	return nil
+}
+
+// classified reports whether recs contains a rejection of ti's expected class.
+func classified(recs []outcomeRec, ti *tamperedInstance) bool {
+	for _, rec := range recs {
+		if rec.err != nil && matchesClass(rec.err, ti.class) {
+			return true
+		}
+	}
+	return false
+}
+
+// drainInbox empties v's inbox, submitting every received block to its
+// pipeline and tracking what was delivered (genuine by hash, tampered by
+// pointer identity).
+func (r *runner) drainInbox(v *valNode) {
+	for {
+		select {
+		case msg, ok := <-v.node.Inbox():
+			if !ok {
+				return
+			}
+			if ti, tampered := r.byPointer[msg.Block]; tampered {
+				ti.deliveredTo[v.name] = true
+			} else {
+				v.delivered[msg.Block.Hash()] = msg.Block
+			}
+			v.pipe.Submit(msg.Block)
+		default:
+			return
+		}
+	}
+}
+
+// sortedDelivered returns v's delivered genuine blocks ordered by (height,
+// hash) so resubmission passes are deterministic.
+func (r *runner) sortedDelivered(v *valNode) []*types.Block {
+	out := make([]*types.Block, 0, len(v.delivered))
+	for _, b := range v.delivered {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Number() != out[j].Number() {
+			return out[i].Number() < out[j].Number()
+		}
+		return lessHash(out[i].Hash(), out[j].Hash())
+	})
+	return out
+}
+
+// serialBlock executes txs serially on parent and seals a block whose
+// coinbase's last byte is tag — the reference (Geth-baseline) way to build
+// fork blocks, and byte-deterministic for the digest.
+func (r *runner) serialBlock(parent branch, txs []*types.Transaction, time uint64, tag byte) (*types.Block, branch, error) {
+	cb := proposerCoinbase
+	cb[19] = tag
+	header := &types.Header{
+		ParentHash: parent.header.Hash(),
+		Number:     parent.header.Number + 1,
+		Coinbase:   cb,
+		GasLimit:   r.params.GasLimit,
+		Time:       time,
+	}
+	res, err := chain.ExecuteSerial(parent.st, header, txs, r.params)
+	if err != nil {
+		return nil, branch{}, err
+	}
+	blk := chain.SealBlock(parent.header, cb, time, txs, res, r.params)
+	if err := r.ref.Insert(blk, res.State); err != nil {
+		return nil, branch{}, err
+	}
+	r.genuine[blk.Hash()] = blk
+	r.heights[blk.Hash()] = blk.Number()
+	return blk, branch{st: res.State, header: &blk.Header}, nil
+}
+
+func lessHash(a, b types.Hash) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -107,6 +107,14 @@ var (
 		"Broadcast messages delivered to node inboxes.")
 	NetworkDropped = NewCounter("blockpilot_network_dropped_total",
 		"Broadcast messages dropped at a full (slow-consumer) inbox.")
+	NetworkFaultDrops = NewCounter("blockpilot_network_fault_drops_total",
+		"Broadcast messages dropped by an injected link fault.")
+	NetworkFaultDups = NewCounter("blockpilot_network_fault_dups_total",
+		"Broadcast messages duplicated by an injected link fault.")
+	NetworkFaultReorders = NewCounter("blockpilot_network_fault_reorders_total",
+		"Broadcast messages held back for reordering by an injected link fault.")
+	NetworkPartitionBlocked = NewCounter("blockpilot_network_partition_blocked_total",
+		"Broadcast messages blocked by an active network partition.")
 )
 
 // DerivedStats computes the evaluation-facing rates the paper reports from

@@ -1,0 +1,77 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBlockProfileRoundTrip: a structurally valid BlockProfile must survive
+// Encode → Decode bit-for-bit (tx count, every access key, every version,
+// gas) and re-encode to identical bytes. This is the proposer→validator
+// wire contract: the validator's dependency graph and per-tx verification
+// both read the decoded profile, so any lossy corner here is a consensus
+// bug. The fuzzer derives the profile shape from its input bytes.
+func FuzzBlockProfileRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff, 0, 0xaa, 9, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		mkAddr := func(tag byte) Address {
+			var a Address
+			a[0], a[19] = tag, next()
+			return a
+		}
+		mkHash := func() Hash {
+			var h Hash
+			h[0], h[31] = next(), next()
+			return h
+		}
+
+		bp := &BlockProfile{}
+		nTx := int(next() % 5)
+		for i := 0; i < nTx; i++ {
+			tp := &TxProfile{GasUsed: uint64(next())<<8 | uint64(next())}
+			for r := int(next() % 4); r > 0; r-- {
+				key := AccountKey(mkAddr(byte(i)))
+				if next()%2 == 0 {
+					key = StorageKey(mkAddr(byte(i)), mkHash())
+				}
+				tp.Reads = append(tp.Reads, KeyVersion{Key: key, Version: Version(next())})
+			}
+			for w := int(next() % 4); w > 0; w-- {
+				key := AccountKey(mkAddr(byte(i + 1)))
+				if next()%2 == 0 {
+					key = StorageKey(mkAddr(byte(i+1)), mkHash())
+				}
+				tp.Writes = append(tp.Writes, key)
+			}
+			bp.Txs = append(bp.Txs, tp)
+		}
+
+		enc := bp.Encode()
+		dec, err := DecodeBlockProfile(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if len(dec.Txs) != len(bp.Txs) {
+			t.Fatalf("round trip changed tx count: %d != %d", len(dec.Txs), len(bp.Txs))
+		}
+		for i := range bp.Txs {
+			if !dec.Txs[i].Equal(bp.Txs[i]) {
+				t.Fatalf("tx profile %d not equal after round trip", i)
+			}
+		}
+		if re := dec.Encode(); !bytes.Equal(re, enc) {
+			t.Fatalf("re-encoding differs: %d vs %d bytes", len(re), len(enc))
+		}
+	})
+}

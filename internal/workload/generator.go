@@ -41,6 +41,12 @@ type Config struct {
 
 	// Compute padding per contract call, in spin-loop iterations.
 	SpinMin, SpinMax int
+
+	// Source, when non-nil, supplies the generator's randomness instead of
+	// rand.NewSource(Seed). Injecting an explicit source lets harnesses
+	// (internal/sim) derive independent deterministic streams from one run
+	// seed; the (Source, call sequence) pair fully determines the tx stream.
+	Source rand.Source
 }
 
 // Default returns the calibrated mainnet-like configuration: the resulting
@@ -85,9 +91,14 @@ type Generator struct {
 }
 
 // New creates a generator. The same (Config, call sequence) always yields
-// the same transactions.
+// the same transactions: byte-identical encodings, block after block (the
+// determinism the sim's seed-replay repro lines depend on).
 func New(cfg Config) *Generator {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := cfg.Source
+	if src == nil {
+		src = rand.NewSource(cfg.Seed)
+	}
+	rng := rand.New(src)
 	tokenS := cfg.TokenZipfS
 	if tokenS <= 1 {
 		tokenS = 1.0001 // ≈uniform-ish fallback; rand.NewZipf requires s > 1
