@@ -1,18 +1,21 @@
 # BlockPilot CI entry points. `make ci` is what the tier-1 gate runs:
 # vet + build + full test suite + race detector on the concurrency-heavy
 # packages (OCC-WSI core, mempool, pipeline, network, sim, telemetry, flight
-# recorder) + the flight-recorder disabled-path budget gate + a short-mode
-# smoke of the contention benchmark suite + the cluster-simulator scenario
-# matrix with its mutation self-check (sim-smoke) + a short corpus pass over
-# the fuzz targets (fuzz-smoke). See docs/TESTING.md for the oracle
-# definitions, the scenario matrix, and seed-replay instructions.
+# recorder) + the flight-recorder and block-tracer disabled-path budget gates
+# + a short-mode smoke of the contention benchmark suite + the
+# cluster-simulator scenario matrix with its mutation self-check and span-chain
+# oracle (sim-smoke) + a short corpus pass over the fuzz targets (fuzz-smoke).
+# See docs/TESTING.md for the oracle definitions, the scenario matrix, and
+# seed-replay instructions.
 #
 # `make bench` records the performance baseline: the contention suite
 # (striped vs single-lock MVState, mempool batching, end-to-end Propose)
 # written to BENCH_proposer.json, the validator wall-clock suite written to
 # BENCH_validator.json, the state-commit suite (parallel commit & Merkle root
 # hashing vs the serial tail) written to BENCH_state.json, plus the Go
-# micro-benchmarks with -benchmem. See docs/PERFORMANCE.md for methodology.
+# micro-benchmarks with -benchmem. `make bench-check` re-records the suites
+# and fails when a headline metric regressed >15% vs the committed baselines.
+# See docs/PERFORMANCE.md for methodology.
 #
 # `make trace-demo` runs a short skewed workload with the flight recorder on
 # and leaves trace.json (open at https://ui.perfetto.dev) plus the hot-key
@@ -20,11 +23,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race race-all flight-budget bench-smoke sim-smoke fuzz-smoke bench bench-go bench-state telemetry-bench flight-bench trace-demo clean
+.PHONY: all ci vet build test race race-all flight-budget trace-budget bench-smoke sim-smoke fuzz-smoke bench bench-go bench-state bench-check telemetry-bench flight-bench trace-demo crit-demo clean
 
 all: ci
 
-ci: vet build test race flight-budget bench-smoke sim-smoke fuzz-smoke
+ci: vet build test race flight-budget trace-budget bench-smoke sim-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,7 +39,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/mempool/... ./internal/pipeline/... ./internal/network/... ./internal/telemetry/... ./internal/flight/... ./internal/trie/... ./internal/state/...
+	$(GO) test -race ./internal/core/... ./internal/mempool/... ./internal/pipeline/... ./internal/network/... ./internal/telemetry/... ./internal/flight/... ./internal/trace/... ./internal/trie/... ./internal/state/...
 
 # Race detector over the *entire* module, cluster simulator included. Slower
 # than `race`; run before merging concurrency changes.
@@ -48,17 +51,23 @@ race-all:
 flight-budget:
 	$(GO) test -run TestDisabledPathBudget -count=1 ./internal/flight/ ./internal/telemetry/
 
+# The block tracer's zero-cost gate: with no collector installed every
+# tracing helper must stay one atomic load, 0 allocs, under the ns budget.
+trace-budget:
+	$(GO) test -run TestDisabledPathBudget -count=1 ./internal/trace/
+
 # Short-mode pass over the contention + state-commit suites: every code
 # path, seconds of runtime, no artifact written.
 bench-smoke:
 	$(GO) test -short -run 'TestContentionSmoke|TestStateCommitSmoke' ./internal/bench/
 
-# Cluster-simulator gate: every fault scenario (9) at 4 seeds, all four
-# oracles checked per run, digest-determinism double-runs, and the seeded-bug
-# mutation self-check. A failing run prints `bpbench -exp sim -scenario S
-# -seed N` to replay it exactly.
+# Cluster-simulator gate: every fault scenario (9) at 4 seeds, all five
+# oracles checked per run (serializability, parity, pipeline-safety,
+# corruption-detection, span-chain completeness), digest-determinism
+# double-runs, and the seeded-bug mutation self-check. A failing run prints
+# `bpbench -exp sim -scenario S -seed N` to replay it exactly.
 sim-smoke:
-	$(GO) test -count=1 -run 'TestScenarioMatrix|TestDigestDeterminism|TestMutationSelfCheck' ./internal/sim/
+	$(GO) test -count=1 -run 'TestScenarioMatrix|TestDigestDeterminism|TestMutationSelfCheck|TestTraceSpansComplete' ./internal/sim/
 
 # Short corpus pass over the property fuzz targets: a few seconds of input
 # generation per target, enough to exercise the generators and seed corpora
@@ -75,6 +84,21 @@ bench: bench-go
 	$(GO) run ./cmd/bpbench -exp contention -telemetry-report=false -bench-out BENCH_proposer.json
 	$(GO) run ./cmd/bpbench -exp validator -telemetry-report=false -bench-out BENCH_validator.json
 	$(GO) run ./cmd/bpbench -exp state -telemetry-report=false -bench-out BENCH_state.json
+
+# Bench regression gate: re-record the three suites into a scratch dir and
+# diff their headline metrics (best commits/s and txs/s per workload,
+# state-commit speedup) against the committed BENCH_*.json baselines with
+# cmd/benchdiff, failing when one regressed more than BENCH_THRESHOLD.
+BENCH_THRESHOLD ?= 0.15
+bench-check:
+	@mkdir -p .bench-check
+	$(GO) run ./cmd/bpbench -exp contention -telemetry-report=false -bench-out .bench-check/BENCH_proposer.json
+	$(GO) run ./cmd/bpbench -exp validator -telemetry-report=false -bench-out .bench-check/BENCH_validator.json
+	$(GO) run ./cmd/bpbench -exp state -telemetry-report=false -bench-out .bench-check/BENCH_state.json
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) \
+		BENCH_proposer.json .bench-check/BENCH_proposer.json \
+		BENCH_validator.json .bench-check/BENCH_validator.json \
+		BENCH_state.json .bench-check/BENCH_state.json
 
 # State-commit suite alone (the commit & root-hash tail across worker
 # counts): writes BENCH_state.json.
@@ -94,6 +118,13 @@ flight-bench:
 # recorder enabled; writes trace.json and prints the hot-key report.
 trace-demo:
 	$(GO) run ./cmd/bpinspect hotkeys -blocks 3 -threads 8 -swap-ratio 0.85 -pairs 3 -trace-out trace.json
+
+# Critical-path walkthrough: the block lifecycle tracer over the default and
+# hotspot workloads; prints per-block waterfalls and the stall-attribution
+# summary (see docs/OBSERVABILITY.md).
+crit-demo:
+	$(GO) run ./cmd/bpinspect crit -blocks 4 -threads 8
+	$(GO) run ./cmd/bpinspect crit -blocks 4 -threads 8 -swap-ratio 0.85 -pairs 3
 
 clean:
 	$(GO) clean ./...

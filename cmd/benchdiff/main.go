@@ -1,0 +1,171 @@
+// Command benchdiff is the bench regression gate (make bench-check): it
+// compares a freshly recorded bench artifact against the committed baseline
+// and fails when a headline metric regressed by more than the threshold.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.15] <baseline.json> <fresh.json> [<baseline> <fresh> ...]
+//
+// The file kind is auto-detected from its shape, matching the three
+// artifacts `make bench` writes:
+//
+//	proposer (BENCH_proposer.json) — headline: best commits_per_sec per
+//	    mvstate workload, plus best end-to-end propose txs_per_sec
+//	validator (BENCH_validator.json) — headline: best txs_per_sec per
+//	    workload
+//	state (BENCH_state.json) — headline: speedup_at_4_workers
+//
+// Headlines are best-over-configurations on purpose: a baseline recorded on
+// a different core count still exposes the machine's best, so the gate
+// tracks "did the best configuration get slower", not per-point noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// point is the union of the per-configuration records in all three files.
+type point struct {
+	Workload      string  `json:"workload"`
+	Stripes       int     `json:"stripes"`
+	Threads       int     `json:"threads"`
+	Workers       int     `json:"workers"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	TxsPerSec     float64 `json:"txs_per_sec"`
+}
+
+// benchFile is the union shape of BENCH_proposer/validator/state.json.
+type benchFile struct {
+	MVState           []point  `json:"mvstate"`
+	Propose           []point  `json:"propose"`
+	Points            []point  `json:"points"`
+	SpeedupAt4Workers *float64 `json:"speedup_at_4_workers"`
+}
+
+// headlines extracts the named headline metrics of one artifact.
+func headlines(f *benchFile) (map[string]float64, string) {
+	out := map[string]float64{}
+	switch {
+	case len(f.MVState) > 0: // proposer
+		for _, p := range f.MVState {
+			key := "mvstate/" + p.Workload + "/best_commits_per_sec"
+			if p.CommitsPerSec > out[key] {
+				out[key] = p.CommitsPerSec
+			}
+		}
+		for _, p := range f.Propose {
+			if p.TxsPerSec > out["propose/best_txs_per_sec"] {
+				out["propose/best_txs_per_sec"] = p.TxsPerSec
+			}
+		}
+		return out, "proposer"
+	case f.SpeedupAt4Workers != nil: // state
+		out["state_commit/speedup_at_4_workers"] = *f.SpeedupAt4Workers
+		return out, "state"
+	case len(f.Points) > 0 && f.Points[0].Workload != "": // validator
+		for _, p := range f.Points {
+			key := "validator/" + p.Workload + "/best_txs_per_sec"
+			if p.TxsPerSec > out[key] {
+				out[key] = p.TxsPerSec
+			}
+		}
+		return out, "validator"
+	}
+	return out, "unknown"
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// diff compares one baseline/fresh pair, printing a line per headline.
+// It returns the number of metrics that regressed past the threshold.
+func diff(basePath, freshPath string, threshold float64) (int, error) {
+	base, err := load(basePath)
+	if err != nil {
+		return 0, err
+	}
+	fresh, err := load(freshPath)
+	if err != nil {
+		return 0, err
+	}
+	baseH, baseKind := headlines(base)
+	freshH, freshKind := headlines(fresh)
+	if baseKind == "unknown" {
+		return 0, fmt.Errorf("%s: unrecognized bench artifact shape", basePath)
+	}
+	if baseKind != freshKind {
+		return 0, fmt.Errorf("kind mismatch: %s is %s, %s is %s", basePath, baseKind, freshPath, freshKind)
+	}
+
+	names := make([]string, 0, len(baseH))
+	for name := range baseH {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	fmt.Printf("%s (%s → %s):\n", baseKind, basePath, freshPath)
+	for _, name := range names {
+		old := baseH[name]
+		now, ok := freshH[name]
+		if !ok {
+			fmt.Printf("  MISSING %-44s baseline %.2f, absent from fresh run\n", name, old)
+			regressions++
+			continue
+		}
+		change := 0.0
+		if old > 0 {
+			change = (now - old) / old
+		}
+		status := "ok"
+		if old > 0 && now < old*(1-threshold) {
+			status = "REGRESSED"
+			regressions++
+		}
+		fmt.Printf("  %-9s %-44s %14.2f → %14.2f  (%+.1f%%)\n", status, name, old, now, change*100)
+	}
+	return regressions, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "maximum tolerated relative regression of a headline metric")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [-threshold 0.15] <baseline.json> <fresh.json> [<baseline> <fresh> ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 || len(args)%2 != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	total := 0
+	for i := 0; i < len(args); i += 2 {
+		n, err := diff(args[i], args[i+1], *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		total += n
+	}
+	if total > 0 {
+		fmt.Printf("benchdiff: %d headline metric(s) regressed more than %.0f%%\n", total, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: all headline metrics within threshold")
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const proposerBase = `{
+  "mvstate": [
+    {"workload": "uniform", "stripes": 1, "threads": 1, "commits_per_sec": 100000},
+    {"workload": "uniform", "stripes": 64, "threads": 4, "commits_per_sec": 400000},
+    {"workload": "zipf", "stripes": 64, "threads": 4, "commits_per_sec": 250000}
+  ],
+  "propose": [
+    {"stripes": 64, "threads": 4, "txs_per_sec": 9000}
+  ]
+}`
+
+func TestHeadlinesProposer(t *testing.T) {
+	f, err := load(writeFile(t, "p.json", proposerBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, kind := headlines(f)
+	if kind != "proposer" {
+		t.Fatalf("kind %q, want proposer", kind)
+	}
+	if h["mvstate/uniform/best_commits_per_sec"] != 400000 {
+		t.Fatalf("uniform headline %v, want the best point 400000", h)
+	}
+	if h["mvstate/zipf/best_commits_per_sec"] != 250000 {
+		t.Fatalf("zipf headline %v", h)
+	}
+	if h["propose/best_txs_per_sec"] != 9000 {
+		t.Fatalf("propose headline %v", h)
+	}
+}
+
+func TestHeadlinesValidatorAndState(t *testing.T) {
+	v, err := load(writeFile(t, "v.json", `{
+	  "serial_ms": {"default": 500},
+	  "points": [
+	    {"workload": "default", "threads": 1, "txs_per_sec": 2000},
+	    {"workload": "default", "threads": 4, "txs_per_sec": 7000},
+	    {"workload": "hotspot", "threads": 4, "txs_per_sec": 5000}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, kind := headlines(v)
+	if kind != "validator" || h["validator/default/best_txs_per_sec"] != 7000 || h["validator/hotspot/best_txs_per_sec"] != 5000 {
+		t.Fatalf("validator headlines kind=%q %v", kind, h)
+	}
+
+	s, err := load(writeFile(t, "s.json", `{"serial_ms": 70, "points": [{"workers": 4}], "speedup_at_4_workers": 1.4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, kind = headlines(s)
+	if kind != "state" || h["state_commit/speedup_at_4_workers"] != 1.4 {
+		t.Fatalf("state headlines kind=%q %v", kind, h)
+	}
+}
+
+func TestDiffThreshold(t *testing.T) {
+	base := writeFile(t, "base.json", proposerBase)
+
+	// 10% slower everywhere: inside the 15% budget.
+	ok := writeFile(t, "ok.json", `{
+	  "mvstate": [
+	    {"workload": "uniform", "commits_per_sec": 360000},
+	    {"workload": "zipf", "commits_per_sec": 225000}
+	  ],
+	  "propose": [{"txs_per_sec": 8100}]
+	}`)
+	if n, err := diff(base, ok, 0.15); err != nil || n != 0 {
+		t.Fatalf("10%% slower: regressions=%d err=%v, want 0", n, err)
+	}
+
+	// zipf 40% slower: one regression.
+	bad := writeFile(t, "bad.json", `{
+	  "mvstate": [
+	    {"workload": "uniform", "commits_per_sec": 420000},
+	    {"workload": "zipf", "commits_per_sec": 150000}
+	  ],
+	  "propose": [{"txs_per_sec": 9100}]
+	}`)
+	if n, err := diff(base, bad, 0.15); err != nil || n != 1 {
+		t.Fatalf("zipf regression: regressions=%d err=%v, want 1", n, err)
+	}
+
+	// A workload missing from the fresh run counts as a regression too.
+	missing := writeFile(t, "missing.json", `{
+	  "mvstate": [{"workload": "uniform", "commits_per_sec": 420000}],
+	  "propose": [{"txs_per_sec": 9100}]
+	}`)
+	if n, err := diff(base, missing, 0.15); err != nil || n != 1 {
+		t.Fatalf("missing workload: regressions=%d err=%v, want 1", n, err)
+	}
+
+	// Kind mismatch is an error, not a silent pass.
+	state := writeFile(t, "state.json", `{"points": [{"workers": 4}], "speedup_at_4_workers": 1.4}`)
+	if _, err := diff(base, state, 0.15); err == nil {
+		t.Fatal("proposer baseline vs state fresh: want kind-mismatch error")
+	}
+}
+
+// TestCommittedBaselinesParse: the repo's own BENCH_*.json artifacts must
+// stay recognizable to the gate (a shape drift here would make bench-check
+// vacuous).
+func TestCommittedBaselinesParse(t *testing.T) {
+	for file, wantKind := range map[string]string{
+		"BENCH_proposer.json":  "proposer",
+		"BENCH_validator.json": "validator",
+		"BENCH_state.json":     "state",
+	} {
+		path := filepath.Join("..", "..", file)
+		if _, err := os.Stat(path); err != nil {
+			t.Skipf("baseline %s not present: %v", file, err)
+		}
+		f, err := load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, kind := headlines(f)
+		if kind != wantKind {
+			t.Fatalf("%s detected as %q, want %q", file, kind, wantKind)
+		}
+		if len(h) == 0 {
+			t.Fatalf("%s produced no headline metrics", file)
+		}
+		for name, v := range h {
+			if v <= 0 {
+				t.Fatalf("%s headline %s is %v, want > 0", file, name, v)
+			}
+		}
+	}
+}

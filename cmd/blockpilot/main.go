@@ -9,6 +9,11 @@
 // Each round prints the proposed block(s), the per-node validation results
 // and the resulting head. Forked rounds demonstrate validators absorbing
 // multiple same-height blocks concurrently (paper §3.4 / Fig. 5).
+//
+// -trace enables the block lifecycle tracer: spans stitch across nodes via
+// contexts carried on gossip messages, /trace/blocks and /trace/critical-path
+// serve them live, and the run ends with a critical-path / stall-attribution
+// summary (drill in with `bpinspect crit -addr ...`).
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"blockpilot/internal/network"
 	"blockpilot/internal/pipeline"
 	"blockpilot/internal/telemetry"
+	"blockpilot/internal/trace"
 	"blockpilot/internal/types"
 	"blockpilot/internal/validator"
 	"blockpilot/internal/workload"
@@ -61,6 +67,8 @@ func main() {
 	flightOn := flag.Bool("flight", false, "enable the transaction flight recorder (per-tx lifecycle events + conflict attribution)")
 	flightOut := flag.String("flight-out", "", "write a Perfetto/Chrome trace.json of the run to this path (implies -flight)")
 	flightRing := flag.Int("flight-ring", 0, "flight recorder ring capacity per worker lane (0 = default)")
+	traceOn := flag.Bool("trace", false, "enable the block lifecycle tracer (cross-node spans, critical paths, stall attribution)")
+	traceRing := flag.Int("trace-ring", 0, "block tracer span ring capacity (0 = default)")
 	commitWorkers := flag.Int("commit-workers", 0, "state commit & root hashing workers at every seal/verify site (0 = auto, 1 = serial ablation)")
 	flag.Parse()
 
@@ -75,6 +83,10 @@ func main() {
 		flight.Enable(flight.Options{RingCapacity: *flightRing})
 		fmt.Println("flight recorder: enabled")
 	}
+	if *traceOn {
+		trace.Enable(*traceRing)
+		fmt.Println("block tracer: enabled")
+	}
 
 	if *telemetryAddr != "" {
 		srv, errc := telemetry.ServeContext(ctx, *telemetryAddr, nil)
@@ -84,7 +96,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "blockpilot: telemetry server:", err)
 			}
 		}()
-		fmt.Printf("telemetry: serving http://%s/metrics (+ /healthz, /metrics.json, /trace, /report, /flight/*, /debug/pprof)\n", *telemetryAddr)
+		fmt.Printf("telemetry: serving http://%s/metrics (+ /healthz, /metrics.json, /trace, /trace/blocks, /trace/critical-path, /report, /flight/*, /debug/pprof)\n", *telemetryAddr)
 	}
 
 	var store *blockdb.Store
@@ -120,12 +132,14 @@ func main() {
 	nodes := make([]*node, 0, *proposers+*validators)
 	addNode := func(name string) *node {
 		c := chain.NewChain(genesis.Copy(), params)
+		c.SetTrace(name, trace.Active())
 		n := &node{
 			name:  name,
 			chain: c,
 			pipe:  pipeline.New(c, validator.DefaultConfig(*threads), nil),
 			net:   fabric.Join(name, 256),
 		}
+		n.pipe.SetNode(name)
 		nodes = append(nodes, n)
 		return n
 	}
@@ -203,6 +217,7 @@ func main() {
 				Time:     uint64(r + 1),
 				Stripes:  *stripes,
 				PopBatch: *popBatch,
+				Node:     pn.name,
 			}, params)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "propose: %v\n", err)
@@ -267,6 +282,12 @@ func main() {
 			s.Counter("blockpilot_validator_blocks_total"),
 			s.Counter("blockpilot_validator_rejects_total"))
 	}
+	if tr := trace.Active(); tr != nil {
+		win := tr.Window(0, "")
+		fmt.Println()
+		fmt.Printf("block tracer: %d spans buffered (%d recorded)\n", tr.Len(), tr.Total())
+		fmt.Print(trace.RenderWindowView(win.View()))
+	}
 	if rec := flight.Active(); rec != nil {
 		fmt.Printf("flight recorder: %d events buffered\n", rec.Total())
 		fmt.Print(rec.Attribution(10).Render())
@@ -276,7 +297,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "blockpilot: flight-out:", err)
 				os.Exit(1)
 			}
-			werr := rec.WriteTrace(f, telemetry.Default().Tracer().Events())
+			werr := rec.WriteTraceMerged(f, telemetry.Default().Tracer().Events(), trace.Active().Spans())
 			if cerr := f.Close(); werr == nil {
 				werr = cerr
 			}

@@ -32,6 +32,7 @@ import (
 	"blockpilot/internal/bench"
 	"blockpilot/internal/sim"
 	"blockpilot/internal/telemetry"
+	"blockpilot/internal/trace"
 )
 
 func main() {
@@ -50,9 +51,13 @@ func main() {
 	simHeights := flag.Int("sim-heights", 0, "sim: canonical blocks per run (0 = scenario default)")
 	simValidators := flag.Int("sim-validators", 0, "sim: validator nodes per run (0 = scenario default)")
 	simMutation := flag.Bool("sim-mutation", true, "sim: also run the seeded-bug mutation self-check")
+	traceOn := flag.Bool("trace", false, "enable the block lifecycle tracer and print a critical-path/stall summary after the run")
 	flag.Parse()
 
 	telemetry.Enable()
+	if *traceOn {
+		trace.Enable(0)
+	}
 
 	o := bench.DefaultOptions()
 	o.Blocks = *blocks
@@ -229,6 +234,11 @@ func main() {
 		}
 	} else if *report {
 		fmt.Println(telemetry.ReportSnapshot(snap))
+	}
+	if tr := trace.Active(); tr != nil && !*jsonOut {
+		win := tr.Window(0, "")
+		fmt.Printf("block tracer: %d spans buffered (%d recorded)\n", tr.Len(), tr.Total())
+		fmt.Print(trace.RenderWindowView(win.View()))
 	}
 }
 

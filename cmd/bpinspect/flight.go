@@ -22,6 +22,7 @@ import (
 
 	"blockpilot/internal/flight"
 	"blockpilot/internal/telemetry"
+	"blockpilot/internal/trace"
 )
 
 // flightFlags are the options shared by the two flight subcommands.
@@ -62,7 +63,7 @@ func collectFlightLocal(f *flightFlags) *flight.Recorder {
 			fmt.Fprintln(os.Stderr, "bpinspect: trace-out:", err)
 			os.Exit(1)
 		}
-		werr := rec.WriteTrace(out, telemetry.Default().Tracer().Events())
+		werr := rec.WriteTraceMerged(out, telemetry.Default().Tracer().Events(), trace.Active().Spans())
 		if cerr := out.Close(); werr == nil {
 			werr = cerr
 		}

@@ -20,6 +20,13 @@
 //
 //	bpinspect hotkeys -blocks 3 -swap-ratio 0.9 -pairs 2
 //	bpinspect txtrace -addr localhost:9090 0x3fa2
+//
+// The `crit` subcommand reads the block lifecycle tracer: per-block
+// critical-path waterfalls and the windowed stall-attribution summary, from
+// a live node's /trace endpoints or from a short local run:
+//
+//	bpinspect crit -blocks 4 -threads 8
+//	bpinspect crit -addr localhost:9090 -n 16
 package main
 
 import (
@@ -47,6 +54,9 @@ func main() {
 			return
 		case "txtrace":
 			txtraceMain(os.Args[2:])
+			return
+		case "crit":
+			critMain(os.Args[2:])
 			return
 		}
 	}

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blockpilot/internal/chain"
 	"blockpilot/internal/flight"
 	"blockpilot/internal/mempool"
 	"blockpilot/internal/state"
 	"blockpilot/internal/telemetry"
+	"blockpilot/internal/trace"
 	"blockpilot/internal/types"
 	"blockpilot/internal/uint256"
 )
@@ -33,6 +35,11 @@ type ProposerConfig struct {
 	// per lock acquisition (0 = DefaultPopBatch). Larger batches amortize
 	// pool contention; smaller batches keep the price ordering tighter.
 	PopBatch int
+	// Node names this proposer in block-trace spans (default "proposer").
+	Node string
+	// Tracer injects a block-trace collector; nil falls back to the
+	// process-global one (trace.Active).
+	Tracer *trace.Collector
 }
 
 // CoarsenAccessSet maps every key of an access set to its account-level key
@@ -113,6 +120,15 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 	}
 	span := telemetry.StartSpan("proposer.propose", header.Number, telemetry.ProposerBlockSeconds)
 	defer span.End()
+	tr := trace.Resolve(cfg.Tracer)
+	node := cfg.Node
+	if node == "" {
+		node = "proposer"
+	}
+	var sealStart, scStart, scEnd time.Time
+	if tr != nil {
+		sealStart = time.Now()
+	}
 	bc := chain.BlockContextFor(header, params.ChainID)
 	mv := NewMVStateStripes(parent, cfg.Stripes)
 
@@ -295,7 +311,13 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 	accum := state.NewMemory(parent)
 	accum.ApplyChangeSet(total)
 	total.Merge(chain.FinalizationChange(accum, cfg.Coinbase, &fees, params))
+	if tr != nil {
+		scStart = time.Now()
+	}
 	postState, stateRoot := chain.CommitAndRoot(parent, total, params, height)
+	if tr != nil {
+		scEnd = time.Now()
+	}
 
 	telemetry.ProposerBlockTxs.Observe(uint64(len(committed)))
 	header.GasUsed = gasUsed.Load()
@@ -304,12 +326,23 @@ func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.P
 	header.ReceiptRoot = types.ComputeReceiptRoot(receipts)
 	header.LogsBloom = types.CreateBloom(receipts)
 
+	blk := &types.Block{Header: *header, Txs: txs, Profile: profile}
+	if tr != nil {
+		// The block hash only exists once every header commitment is filled
+		// in, so the seal span (covering the whole packing run) is recorded
+		// here; ContextFor picks it up as the trace root when the block is
+		// broadcast.
+		bh := blk.Hash()
+		tr.RecordSpan(node, trace.StageStateCommit, bh, height, scStart, scEnd)
+		tr.RecordSpan(node, trace.StageSeal, bh, height, sealStart, time.Now())
+	}
+
 	return &ProposeResult{
-		Block:     &types.Block{Header: *header, Txs: txs, Profile: profile},
-		Receipts:  receipts,
-		State:     postState,
-		Fees:      fees,
-		GasUsed:   gasUsed.Load(),
+		Block:        blk,
+		Receipts:     receipts,
+		State:        postState,
+		Fees:         fees,
+		GasUsed:      gasUsed.Load(),
 		Committed:    len(committed),
 		Aborts:       int(aborts.Load()),
 		Dropped:      int(dropped.Load()),

@@ -13,6 +13,9 @@
 //	                    (proposer.propose, pipeline.prepare/execute/
 //	                    validate/commit, validator.block, …), one tid per
 //	                    span name, plus block_submit/block_done instants
+//	pid 4 "blocks"    — block lifecycle spans from internal/trace (seal,
+//	                    transfer, queue, prepare, execute, verify, commit,
+//	                    …), one tid per node, stitched by trace id
 package flight
 
 import (
@@ -21,6 +24,7 @@ import (
 	"sort"
 
 	"blockpilot/internal/telemetry"
+	"blockpilot/internal/trace"
 	"blockpilot/internal/types"
 )
 
@@ -45,6 +49,7 @@ const (
 	pidProposer  = 1
 	pidValidator = 2
 	pidPipeline  = 3
+	pidBlocks    = 4
 )
 
 func metaEvent(pid, tid int, kind, name string) traceEvent {
@@ -58,6 +63,15 @@ func short(h types.Hash) string { return h.String()[:10] }
 // times are re-based onto the recorder's epoch so both sources share one
 // timeline.
 func (r *Recorder) WriteTrace(w io.Writer, spans []telemetry.TraceEvent) error {
+	return r.WriteTraceMerged(w, spans, nil)
+}
+
+// WriteTraceMerged is WriteTrace plus a fourth process ("blocks") carrying
+// block lifecycle spans from internal/trace: one thread per node, every
+// span a complete slice tagged with its trace id, block hash and stage, so
+// the cross-node path of one block reads as aligned slices under a single
+// timeline shared with the per-tx flight events.
+func (r *Recorder) WriteTraceMerged(w io.Writer, spans []telemetry.TraceEvent, blocks []trace.Span) error {
 	evs := r.Events()
 	out := traceFile{DisplayTimeUnit: "ms"}
 
@@ -171,6 +185,42 @@ func (r *Recorder) WriteTrace(w io.Writer, spans []telemetry.TraceEvent) error {
 				Name: sp.Name, Ph: "X", TS: us(rel), Dur: us(sp.Dur.Nanoseconds()),
 				Pid: pidPipeline, Tid: nameTid[sp.Name],
 				Args: map[string]any{"height": sp.Height},
+			})
+		}
+	}
+
+	// Block lifecycle spans on their own process, one tid per node.
+	if len(blocks) > 0 {
+		out.TraceEvents = append(out.TraceEvents, metaEvent(pidBlocks, 0, "process_name", "blocks"))
+		nodeTid := map[string]int{}
+		nodes := make([]string, 0, 4)
+		for i := range blocks {
+			if _, ok := nodeTid[blocks[i].Node]; !ok {
+				nodeTid[blocks[i].Node] = 0
+				nodes = append(nodes, blocks[i].Node)
+			}
+		}
+		sort.Strings(nodes)
+		for i, n := range nodes {
+			nodeTid[n] = i + 1
+			out.TraceEvents = append(out.TraceEvents, metaEvent(pidBlocks, i+1, "thread_name", "node:"+n))
+		}
+		for i := range blocks {
+			sp := &blocks[i]
+			rel := sp.Start.Sub(r.start).Nanoseconds()
+			args := map[string]any{
+				"height":   sp.Height,
+				"block":    sp.Block.String(),
+				"trace_id": sp.TraceID,
+				"span_id":  sp.SpanID,
+			}
+			if sp.From != "" {
+				args["from"] = sp.From
+			}
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: sp.Stage.String() + " " + short(sp.Block), Ph: "X",
+				TS: us(rel), Dur: us(sp.Dur().Nanoseconds()),
+				Pid: pidBlocks, Tid: nodeTid[sp.Node], Args: args,
 			})
 		}
 	}

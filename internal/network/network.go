@@ -18,16 +18,22 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blockpilot/internal/telemetry"
+	"blockpilot/internal/trace"
 	"blockpilot/internal/types"
 )
 
-// Message is one delivered broadcast.
+// Message is one delivered broadcast. Trace carries the sender's block
+// tracing context (internal/trace) so validator-side spans stitch onto the
+// proposer's trace; it is three integers, so it serializes trivially once
+// the fabric moves to a real wire.
 type Message struct {
 	From  string
 	Block *types.Block
+	Trace trace.Context
 }
 
 // LinkFaults configures injected faults on one directed link (from → to).
@@ -56,7 +62,16 @@ type Network struct {
 	defaults LinkFaults
 	groups   map[string]int       // node → partition group (absent = unpartitioned)
 	held     map[linkKey]*Message // one-deep reorder holdback per link
+
+	// tracer, when set, overrides the process-global trace collector for
+	// span context attachment and transfer spans (the simulator runs
+	// several fabrics concurrently and injects one collector per run).
+	tracer atomic.Pointer[trace.Collector]
 }
+
+// SetTracer injects a block-trace collector for this fabric. Passing nil
+// reverts to the process-global collector (trace.Active).
+func (n *Network) SetTracer(c *trace.Collector) { n.tracer.Store(c) }
 
 // New creates a fabric with the given simulated propagation latency.
 // Fault decisions default to seed 1; use SeedFaults to change.
@@ -183,6 +198,9 @@ type delivery struct {
 func (node *Node) Broadcast(block *types.Block) {
 	n := node.net
 	msg := Message{From: node.name, Block: block}
+	if tr := trace.Resolve(n.tracer.Load()); tr != nil {
+		msg.Trace = tr.ContextFor(block.Hash())
+	}
 
 	n.mu.Lock()
 	if n.closed {
@@ -260,6 +278,9 @@ func (n *Network) send(t *Node, msg Message) {
 	select {
 	case t.inbox <- msg:
 		telemetry.NetworkMessages.Inc()
+		if tr := trace.Resolve(n.tracer.Load()); tr != nil && msg.Trace.TraceID != 0 {
+			tr.Delivered(msg.From, t.name, msg.Block.Header.Number, msg.Block.Hash(), msg.Trace)
+		}
 	default: // slow consumer: drop
 		telemetry.NetworkDropped.Inc()
 	}

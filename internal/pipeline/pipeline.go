@@ -18,6 +18,7 @@ import (
 	"blockpilot/internal/chain"
 	"blockpilot/internal/flight"
 	"blockpilot/internal/telemetry"
+	"blockpilot/internal/trace"
 	"blockpilot/internal/types"
 	"blockpilot/internal/validator"
 )
@@ -130,6 +131,8 @@ type Pipeline struct {
 	params  chain.Params
 	pool    *WorkerPool
 	ownPool bool
+	node    string           // span node identity; "" = "validator"
+	tracer  *trace.Collector // injected collector; nil = process-global
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -140,8 +143,9 @@ type Pipeline struct {
 }
 
 type pendingBlock struct {
-	block   *types.Block
-	arrived time.Time
+	block    *types.Block
+	arrived  time.Time
+	released time.Time // when the parent's commitment unparked it (zero if never parked)
 }
 
 // New builds a pipeline over a chain. cfg.Threads bounds each block's lane
@@ -170,6 +174,28 @@ func New(c *chain.Chain, cfg validator.Config, pool *WorkerPool) *Pipeline {
 // Results delivers one Outcome per submitted block.
 func (p *Pipeline) Results() <-chan Outcome { return p.results }
 
+// SetNode names this pipeline's node for block-trace spans (default
+// "validator"). Call before the first Submit.
+func (p *Pipeline) SetNode(name string) {
+	p.node = name
+	p.cfg.Node = name
+}
+
+// SetTracer injects a block-trace collector (nil = process-global). Call
+// before the first Submit.
+func (p *Pipeline) SetTracer(c *trace.Collector) {
+	p.tracer = c
+	p.cfg.Tracer = c
+}
+
+// nodeName returns the span identity for this pipeline.
+func (p *Pipeline) nodeName() string {
+	if p.node == "" {
+		return "validator"
+	}
+	return p.node
+}
+
 // Submit hands a block to the pipeline. Blocks may arrive in any order; a
 // block waits until its parent has been validated, while blocks at the same
 // height proceed concurrently.
@@ -191,6 +217,20 @@ func (p *Pipeline) Submit(block *types.Block) {
 // run validates one block whose parent state is available.
 func (p *Pipeline) run(pb *pendingBlock) {
 	block := pb.block
+	if tr := trace.Resolve(p.tracer); tr != nil {
+		// Attribute the pre-validation latency: time parked behind the
+		// parent (parent_wait) and time between release and this goroutine
+		// actually starting (queue_wait / scheduler backpressure).
+		now := time.Now()
+		bh := block.Hash()
+		node := p.nodeName()
+		queuedFrom := pb.arrived
+		if !pb.released.IsZero() {
+			tr.RecordSpan(node, trace.StageParentWait, bh, block.Header.Number, pb.arrived, pb.released)
+			queuedFrom = pb.released
+		}
+		tr.RecordSpan(node, trace.StageQueue, bh, block.Header.Number, queuedFrom, now)
+	}
 	parentBlock := p.chain.Block(block.Header.ParentHash)
 	parentState := p.chain.StateOf(block.Header.ParentHash)
 
@@ -213,7 +253,9 @@ func (p *Pipeline) run(pb *pendingBlock) {
 		p.running += len(children)
 		telemetry.PipelineWaiting.Add(-int64(len(children)))
 		telemetry.PipelineInflight.Add(int64(len(children)))
+		now := time.Now()
 		for _, c := range children {
+			c.released = now
 			go p.run(c)
 		}
 	} else {

@@ -24,11 +24,12 @@ type Stats struct {
 
 // Report is the outcome of one simulation run.
 type Report struct {
-	Cfg       Config
-	Digest    string // scheduling-independent run fingerprint
-	Problems  []string
-	Mutations []MutationCheck
-	Stats     Stats
+	Cfg         Config
+	Digest      string // scheduling-independent run fingerprint
+	TraceDigest string // span-coverage fingerprint (see traceDigest)
+	Problems    []string
+	Mutations   []MutationCheck
+	Stats       Stats
 }
 
 // OK reports whether every oracle held and (when run) every seeded bug in
@@ -69,6 +70,7 @@ func (r *Report) Render() string {
 			name, r.Stats.Committed[name], r.Stats.Rejections[name], r.Stats.Incarnations[name])
 	}
 	fmt.Fprintf(&b, "  digest: %s\n", r.Digest)
+	fmt.Fprintf(&b, "  trace digest: %s\n", r.TraceDigest)
 	for _, m := range r.Mutations {
 		status := "caught"
 		if !m.Caught {
@@ -88,8 +90,8 @@ func (r *Report) Render() string {
 	return b.String()
 }
 
-// report assembles the Report after drive() finished: all four oracles,
-// the convergence check, and the run digest.
+// report assembles the Report after drive() finished: all five oracles,
+// the convergence check, and the run digests.
 func (r *runner) report() *Report {
 	rep := &Report{Cfg: r.cfg, Stats: r.stats()}
 	serialRoots := make(map[types.Hash]types.Hash, len(r.genuine))
@@ -98,6 +100,8 @@ func (r *runner) report() *Report {
 	rep.Problems = append(rep.Problems, r.checkPipelineSafety()...)
 	rep.Problems = append(rep.Problems, r.checkCorruption()...)
 	rep.Problems = append(rep.Problems, r.checkConvergence()...)
+	rep.Problems = append(rep.Problems, r.checkTracing()...)
 	rep.Digest = r.digest()
+	rep.TraceDigest = r.traceDigest()
 	return rep
 }

@@ -16,6 +16,7 @@ import (
 	"blockpilot/internal/network"
 	"blockpilot/internal/pipeline"
 	"blockpilot/internal/state"
+	"blockpilot/internal/trace"
 	"blockpilot/internal/types"
 	"blockpilot/internal/validator"
 	"blockpilot/internal/workload"
@@ -45,6 +46,7 @@ type valNode struct {
 	wpool  *pipeline.WorkerPool
 	db     *blockdb.Store
 	dbPath string
+	tracer *trace.Collector // the run's private block-trace collector
 
 	chain *chain.Chain
 	pipe  *pipeline.Pipeline
@@ -60,7 +62,10 @@ type valNode struct {
 // outcomes and persists accepted blocks.
 func (v *valNode) start(genesis *state.Snapshot, params chain.Params, threads int) {
 	v.chain = chain.NewChain(genesis, params)
+	v.chain.SetTrace(v.name, v.tracer)
 	v.pipe = pipeline.New(v.chain, validator.DefaultConfig(threads), v.wpool)
+	v.pipe.SetNode(v.name)
+	v.pipe.SetTracer(v.tracer)
 	inc := &incarnation{}
 	v.mu.Lock()
 	v.incs = append(v.incs, inc)
@@ -151,11 +156,12 @@ type runner struct {
 	pool   *mempool.Pool
 	net    *network.Network
 	vals   []*valNode
+	tracer *trace.Collector // private per-run collector (runs execute concurrently in tests)
 
-	canonical []*types.Block               // index h-1 = canonical block at height h
-	genuine   map[types.Hash]*types.Block  // every honest block ever broadcast
-	heights   map[types.Hash]uint64        // genuine hash → height
-	tampers   []*tamperedInstance          // creation order
+	canonical []*types.Block              // index h-1 = canonical block at height h
+	genuine   map[types.Hash]*types.Block // every honest block ever broadcast
+	heights   map[types.Hash]uint64       // genuine hash → height
+	tampers   []*tamperedInstance         // creation order
 	byPointer map[*types.Block]*tamperedInstance
 
 	txGenerated int
@@ -206,6 +212,14 @@ func Run(cfg Config) (*Report, error) {
 	genesis := r.gen.GenesisState()
 	r.ref = chain.NewChain(genesis, params)
 
+	// Every run gets a private collector — the scenario matrix runs
+	// simulations concurrently, so the process-global collector stays out
+	// of the picture. Capacity is sized far above the worst-case span count
+	// (heights x validators x ~8 spans, plus forks and replays) so the
+	// tracing oracle and digest never observe ring eviction.
+	r.tracer = trace.NewCollector(32768)
+	r.net.SetTracer(r.tracer)
+
 	r.net.SeedFaults(cfg.Seed)
 	r.net.SetDefaultFaults(network.LinkFaults{Drop: cfg.Drop, Duplicate: cfg.Duplicate, Reorder: cfg.Reorder})
 	pnode := r.net.Join("proposer", 64)
@@ -217,6 +231,7 @@ func Run(cfg Config) (*Report, error) {
 			node:      r.net.Join(name, 4096),
 			wpool:     pipeline.NewWorkerPool(cfg.ValidatorThreads),
 			dbPath:    filepath.Join(dir, name+".blocks"),
+			tracer:    r.tracer,
 			delivered: make(map[types.Hash]*types.Block),
 		}
 		if cfg.StallEvery > 0 {
@@ -298,6 +313,7 @@ func (r *runner) drive(pnode *network.Node, genesis *state.Snapshot) error {
 		r.pool.AddAll(txs)
 		res, err := core.Propose(tip.st, tip.header, r.pool, core.ProposerConfig{
 			Threads: cfg.ProposerThreads, Coinbase: proposerCoinbase, Time: uint64(h),
+			Node: "proposer", Tracer: r.tracer,
 		}, r.params)
 		if err != nil {
 			return fmt.Errorf("sim: propose height %d: %w", h, err)

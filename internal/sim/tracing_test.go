@@ -1,0 +1,25 @@
+package sim
+
+import "testing"
+
+// TestTraceSpansComplete: the tracing oracle (checkTracing, run inside the
+// matrix too) must hold on a faulted scenario, and the trace digest must be
+// scheduling-independent — two runs at one seed agree, different seeds
+// diverge. Part of the sim-smoke gate in make ci.
+func TestTraceSpansComplete(t *testing.T) {
+	a := run(t, "lossy", 11)
+	if a.TraceDigest == "" {
+		t.Fatal("report carries no trace digest")
+	}
+	b := run(t, "lossy", 11)
+	if a.TraceDigest != b.TraceDigest {
+		t.Fatalf("same seed, different trace digests:\n%s\n%s", a.TraceDigest, b.TraceDigest)
+	}
+	c := run(t, "lossy", 12)
+	if a.TraceDigest == c.TraceDigest {
+		t.Fatal("different seeds produced identical trace digests")
+	}
+	if a.Digest == a.TraceDigest {
+		t.Fatal("trace digest must fingerprint span coverage, not reuse the run digest")
+	}
+}

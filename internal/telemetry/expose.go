@@ -67,7 +67,8 @@ func (s *Snapshot) PrometheusText() string {
 // Handler serves the registry over HTTP:
 //
 //	/metrics              Prometheus text (or JSON with ?format=json)
-//	/metrics.json         JSON snapshot (indented)
+//	/metrics.json         JSON snapshot (indented; ?rates=1 adds windowed
+//	                      per-counter deltas and per-second rates)
 //	/trace                buffered trace events as JSON
 //	/debug/pprof/...      the standard runtime profiles
 //	/                     a plain-text index
@@ -85,6 +86,13 @@ func Handler(r *Registry) http.Handler {
 		_, _ = w.Write([]byte(r.Snapshot().PrometheusText()))
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		// ?rates=1 adds per-counter delta + per-second rate over the window
+		// since the previous rated request (first such request seeds the
+		// baseline and reports values only).
+		if req.URL.Query().Get("rates") == "1" {
+			serveJSON(w, r.SnapshotRates())
+			return
+		}
 		serveJSON(w, r.Snapshot())
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {

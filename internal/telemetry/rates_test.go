@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ticks_total", "ticks")
+	c.Add(10)
+
+	// First call seeds the baseline: plain snapshot, no window.
+	s1 := r.SnapshotRates()
+	if s1.Interval != 0 {
+		t.Fatalf("first rate snapshot has interval %v, want 0", s1.Interval)
+	}
+	if s1.Counters[0].Delta != 0 || s1.Counters[0].Rate != 0 {
+		t.Fatalf("first rate snapshot carries rates: %+v", s1.Counters[0])
+	}
+
+	c.Add(40)
+	time.Sleep(10 * time.Millisecond)
+	s2 := r.SnapshotRates()
+	if s2.Interval <= 0 {
+		t.Fatalf("second rate snapshot has interval %v, want > 0", s2.Interval)
+	}
+	got := s2.Counters[0]
+	if got.Value != 50 || got.Delta != 40 {
+		t.Fatalf("counter %+v, want value=50 delta=40", got)
+	}
+	wantRate := got.Delta / s2.Interval
+	if got.Rate != wantRate {
+		t.Fatalf("rate %v, want delta/interval = %v", got.Rate, wantRate)
+	}
+
+	// A quiet window reports zero delta, and a counter registered after the
+	// baseline rates from zero.
+	d := r.NewCounter("test_late_total", "late")
+	d.Add(7)
+	s3 := r.SnapshotRates()
+	for _, cs := range s3.Counters {
+		switch cs.Name {
+		case "test_ticks_total":
+			if cs.Delta != 0 {
+				t.Fatalf("quiet counter delta %v, want 0", cs.Delta)
+			}
+		case "test_late_total":
+			if cs.Delta != 7 {
+				t.Fatalf("late counter delta %v, want 7 (from zero)", cs.Delta)
+			}
+		}
+	}
+
+	// Plain snapshots stay rate-free so the JSON shape is unchanged.
+	if s := r.Snapshot(); s.Interval != 0 || s.Counters[0].Delta != 0 {
+		t.Fatalf("plain snapshot leaked rate fields: %+v", s.Counters[0])
+	}
+}
+
+func TestMetricsJSONRatesParam(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_http_total", "hits")
+	c.Add(3)
+	h := Handler(r)
+
+	get := func(url string) *Snapshot {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s: status %d", url, rec.Code)
+		}
+		var s Snapshot
+		if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+		return &s
+	}
+
+	get("/metrics.json?rates=1") // seeds the baseline
+	c.Add(5)
+	s := get("/metrics.json?rates=1")
+	if s.Interval <= 0 {
+		t.Fatalf("rated response has no interval: %+v", s)
+	}
+	if s.Counters[0].Delta != 5 {
+		t.Fatalf("delta %v, want 5", s.Counters[0].Delta)
+	}
+	if plain := get("/metrics.json"); plain.Interval != 0 {
+		t.Fatalf("plain response has interval %v", plain.Interval)
+	}
+
+	// The rate window renders as its own column in the report.
+	out := ReportSnapshot(s)
+	if want := "rate window"; !strings.Contains(out, want) {
+		t.Fatalf("report missing %q:\n%s", want, out)
+	}
+}

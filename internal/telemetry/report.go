@@ -21,9 +21,16 @@ func ReportSnapshot(s *Snapshot) string {
 	b.WriteString("telemetry report — " + s.TakenAt.Format(time.RFC3339) + "\n\n")
 
 	if len(s.Counters) > 0 {
-		b.WriteString("counters:\n")
-		for _, c := range s.Counters {
-			fmt.Fprintf(&b, "  %-48s %12s\n", c.Name, formatValue(c.Value))
+		if s.Interval > 0 {
+			fmt.Fprintf(&b, "counters (rate window %.2fs):\n", s.Interval)
+			for _, c := range s.Counters {
+				fmt.Fprintf(&b, "  %-48s %12s %12s/s\n", c.Name, formatValue(c.Value), formatValue(c.Rate))
+			}
+		} else {
+			b.WriteString("counters:\n")
+			for _, c := range s.Counters {
+				fmt.Fprintf(&b, "  %-48s %12s\n", c.Name, formatValue(c.Value))
+			}
 		}
 		b.WriteString("\n")
 	}

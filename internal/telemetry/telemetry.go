@@ -58,6 +58,12 @@ type Registry struct {
 	ordered []metric
 	byName  map[string]metric
 	tracer  *Tracer
+
+	// Rate baseline for SnapshotRates (guarded by rateMu): counter values
+	// at the previous SnapshotRates call.
+	rateMu   sync.Mutex
+	ratePrev map[string]float64
+	rateAt   time.Time
 }
 
 // NewRegistry returns an empty registry with its own tracer.
@@ -198,9 +204,9 @@ type histShard struct {
 // nanoseconds via ObserveDuration. Observe is a no-op while telemetry is
 // disabled.
 type Histogram struct {
-	name string
-	help string
-	unit string // "ns" for durations, "" for plain values, "gas" …
+	name   string
+	help   string
+	unit   string // "ns" for durations, "" for plain values, "gas" …
 	shards [histShards]histShard
 }
 
@@ -347,17 +353,24 @@ func (hs *HistogramSnapshot) Quantile(q float64) float64 {
 	return float64(last.UpperBound)
 }
 
-// NumberSnapshot is one counter or gauge's frozen value.
+// NumberSnapshot is one counter or gauge's frozen value. Delta and Rate are
+// filled by SnapshotRates only: the counter's increase since the previous
+// rate snapshot, and that increase divided by the interval (per second).
 type NumberSnapshot struct {
 	Name  string  `json:"name"`
 	Help  string  `json:"help,omitempty"`
 	Value float64 `json:"value"`
+	Delta float64 `json:"delta,omitempty"`
+	Rate  float64 `json:"rate,omitempty"`
 }
 
 // Snapshot is the full registry state at one instant — the payload behind
 // the JSON endpoint, the Prometheus text rendering, and the Report table.
+// Interval is non-zero only for rate snapshots (SnapshotRates): the window
+// in seconds the counters' Delta/Rate fields cover.
 type Snapshot struct {
 	TakenAt    time.Time           `json:"taken_at"`
+	Interval   float64             `json:"interval_s,omitempty"`
 	Counters   []NumberSnapshot    `json:"counters"`
 	Gauges     []NumberSnapshot    `json:"gauges"`
 	Histograms []HistogramSnapshot `json:"histograms"`
@@ -389,6 +402,40 @@ func (r *Registry) Snapshot() *Snapshot {
 
 // Snapshot freezes the default registry.
 func TakeSnapshot() *Snapshot { return defaultRegistry.Snapshot() }
+
+// SnapshotRates freezes every registered metric and, for counters,
+// additionally reports the per-interval delta and per-second rate since the
+// previous SnapshotRates call on this registry. The first call establishes
+// the baseline: it returns a plain snapshot (Interval 0, no rates). Callers
+// polling at a fixed period therefore see windowed rates from the second
+// poll on.
+func (r *Registry) SnapshotRates() *Snapshot {
+	s := r.Snapshot()
+	r.rateMu.Lock()
+	defer r.rateMu.Unlock()
+	prev, prevAt := r.ratePrev, r.rateAt
+	cur := make(map[string]float64, len(s.Counters))
+	for _, c := range s.Counters {
+		cur[c.Name] = c.Value
+	}
+	r.ratePrev, r.rateAt = cur, s.TakenAt
+	if prev == nil {
+		return s
+	}
+	dt := s.TakenAt.Sub(prevAt).Seconds()
+	s.Interval = dt
+	for i := range s.Counters {
+		c := &s.Counters[i]
+		c.Delta = c.Value - prev[c.Name] // new counters: delta from zero
+		if dt > 0 {
+			c.Rate = c.Delta / dt
+		}
+	}
+	return s
+}
+
+// TakeSnapshotRates is SnapshotRates on the default registry.
+func TakeSnapshotRates() *Snapshot { return defaultRegistry.SnapshotRates() }
 
 // Counter returns the frozen value of a counter by name (0 if absent).
 func (s *Snapshot) Counter(name string) float64 { return findNumber(s.Counters, name) }

@@ -1,0 +1,89 @@
+// HTTP exposition for the block tracer, registered onto every
+// telemetry.Handler mux at init time (the same pattern internal/flight
+// uses — telemetry must not import trace):
+//
+//	/trace/blocks         per-(block, node) critical paths as JSON
+//	                      (?node=v0 filters, ?n=16 keeps the newest 16,
+//	                       ?spans=1 serves the raw span ring instead)
+//	/trace/critical-path  the sliding-window summary as JSON
+//	                      (?n=32 window size, ?node=v0 filters)
+//
+// Both return 503 while no collector is installed.
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"blockpilot/internal/telemetry"
+)
+
+func init() {
+	telemetry.RegisterHTTP("/trace/blocks", http.HandlerFunc(serveBlocks))
+	telemetry.RegisterHTTP("/trace/critical-path", http.HandlerFunc(serveCriticalPath))
+}
+
+// requireCollector fetches the installed collector or replies 503.
+func requireCollector(w http.ResponseWriter) (*Collector, bool) {
+	c := Active()
+	if c == nil {
+		http.Error(w, "block tracer not enabled (start the node with -trace)", http.StatusServiceUnavailable)
+		return nil, false
+	}
+	return c, true
+}
+
+func intQuery(req *http.Request, key string, def int) int {
+	if v := req.URL.Query().Get(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func serveBlocks(w http.ResponseWriter, req *http.Request) {
+	c, ok := requireCollector(w)
+	if !ok {
+		return
+	}
+	node := req.URL.Query().Get("node")
+	if req.URL.Query().Get("spans") == "1" {
+		spans := c.Spans()
+		views := make([]SpanView, 0, len(spans))
+		for i := range spans {
+			if node != "" && spans[i].Node != node {
+				continue
+			}
+			views = append(views, spans[i].View())
+		}
+		serveJSON(w, views)
+		return
+	}
+	paths := c.Paths(node)
+	if n := intQuery(req, "n", 0); n > 0 && len(paths) > n {
+		paths = paths[len(paths)-n:]
+	}
+	views := make([]PathView, 0, len(paths))
+	for i := range paths {
+		views = append(views, paths[i].View())
+	}
+	serveJSON(w, views)
+}
+
+func serveCriticalPath(w http.ResponseWriter, req *http.Request) {
+	c, ok := requireCollector(w)
+	if !ok {
+		return
+	}
+	win := c.Window(intQuery(req, "n", 0), req.URL.Query().Get("node"))
+	serveJSON(w, win.View())
+}
+
+func serveJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,388 @@
+// Package trace is BlockPilot's block-lifecycle causal tracer: per-block
+// spans covering every stage a block passes through — proposer seal, network
+// transfer, pipeline parent-wait and queue, validator prepare / execute /
+// verify / commit, and the state-commit tail — stitched together across
+// nodes by a propagated trace context (a TraceID / parent-span header
+// attached to block messages in internal/network; in-process today, the
+// header is three integers so a TCP transport can carry it verbatim).
+//
+// On top of the span store, critical.go extracts the critical path per block
+// (which stage chain bounded end-to-end latency) and attributes every
+// non-work gap to a named stall bucket with a share of the total; http.go
+// exposes both as /trace/blocks and /trace/critical-path via
+// telemetry.RegisterHTTP, and render.go draws the per-block waterfall that
+// `bpinspect crit` and cmd/blockpilot print.
+//
+// Design constraints (mirroring internal/flight, ISSUE 6):
+//
+//   - The disabled path (the default) is one atomic pointer load and a nil
+//     check: 0 allocations, < 25 ns — enforced by TestDisabledPathBudget,
+//     run by `make ci` (trace-budget).
+//   - Instrumented packages resolve a collector per call site with
+//     Resolve(instance): an explicitly injected *Collector (the cluster
+//     simulator gives every run a private one so parallel runs never share
+//     span state) or, when nil, the process-wide installed collector.
+//     Every Collector method is nil-safe, so call sites never branch.
+//   - No dependencies beyond the standard library, internal/types and
+//     internal/telemetry.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockpilot/internal/types"
+)
+
+// Stage enumerates the lifecycle stages of one block.
+type Stage uint8
+
+const (
+	stageInvalid Stage = iota
+	// StageSeal: the proposer packs and seals the block (core.Propose).
+	StageSeal
+	// StageTransfer: network propagation from broadcast to inbox delivery.
+	StageTransfer
+	// StageParentWait: the block sat parked in the pipeline because its
+	// parent had not validated yet.
+	StageParentWait
+	// StageQueue: submission (or parent release) to validation start.
+	StageQueue
+	// StagePrepare: dependency-graph build + gas-LPT scheduling.
+	StagePrepare
+	// StageExecute: parallel transaction re-execution across the lanes.
+	StageExecute
+	// StageVerify: the applier — block-order reordering and profile checks.
+	StageVerify
+	// StageCommit: header commitment checks + state commit + root compare.
+	StageCommit
+	// StageStateCommit: the CommitAndRoot tail inside seal or commit.
+	StageStateCommit
+	// StageInsert: chain insertion milestone (zero-duration mark).
+	StageInsert
+)
+
+var stageNames = [...]string{
+	stageInvalid:     "invalid",
+	StageSeal:        "seal",
+	StageTransfer:    "transfer",
+	StageParentWait:  "parent_wait",
+	StageQueue:       "queue_wait",
+	StagePrepare:     "prepare",
+	StageExecute:     "execute",
+	StageVerify:      "verify",
+	StageCommit:      "commit",
+	StageStateCommit: "state_commit",
+	StageInsert:      "insert",
+}
+
+// String returns the stage's wire name.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Context is the propagated trace header attached to block messages. It is
+// three integers so a wire transport can serialize it without caring about
+// in-process types: the trace id binding every span of one block together,
+// the sending side's root span (the seal span, when known), and the wall
+// clock at send time — the receiving side closes the transfer span against
+// its own clock (in-process both clocks are one clock; across machines the
+// usual NTP caveats apply and negative transfers clamp to zero).
+type Context struct {
+	TraceID      uint64 `json:"trace_id"`
+	ParentSpan   uint64 `json:"parent_span"`
+	SentUnixNano int64  `json:"sent_unix_nano"`
+}
+
+// Span is one completed stage of one block on one node.
+type Span struct {
+	TraceID uint64
+	SpanID  uint64
+	Parent  uint64 // causal parent span (0 = root)
+	Stage   Stage
+	Node    string // the node the stage ran on
+	From    string // StageTransfer only: the sending node
+	Height  uint64
+	Block   types.Hash
+	Start   time.Time
+	End     time.Time
+}
+
+// Dur returns the span's duration (clamped to ≥ 0: a transfer span's start
+// comes from the sender's wall clock).
+func (s *Span) Dur() time.Duration {
+	d := s.End.Sub(s.Start)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// binding ties a block hash to its trace: the shared trace id and the root
+// (seal) span if one was recorded.
+type binding struct {
+	traceID  uint64
+	rootSpan uint64
+}
+
+// DefaultCapacity bounds the span ring (spans, not bytes). Block spans are
+// coarse — ~10 per (block, node) — so the default covers thousands of
+// blocks before eviction.
+const DefaultCapacity = 16384
+
+// Collector is a fixed-capacity ring of completed block spans plus the
+// block → trace-id binding table. All methods are safe on a nil receiver
+// (no-ops), which is what keeps instrumentation call sites branch-free.
+type Collector struct {
+	seq atomic.Uint64 // span + trace id source
+
+	mu      sync.Mutex
+	spans   []Span
+	next    int
+	filled  bool
+	total   uint64
+	byBlock map[types.Hash]*binding
+}
+
+// NewCollector builds a collector without installing it (the cluster
+// simulator keeps one per run). capacity ≤ 0 selects DefaultCapacity.
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Collector{
+		spans:   make([]Span, capacity),
+		byBlock: make(map[types.Hash]*binding),
+	}
+}
+
+// active is the installed process-wide collector; nil = tracing disabled.
+var active atomic.Pointer[Collector]
+
+// Enable installs a fresh collector (replacing any previous one) and
+// returns it. capacity ≤ 0 selects DefaultCapacity.
+func Enable(capacity int) *Collector {
+	c := NewCollector(capacity)
+	active.Store(c)
+	return c
+}
+
+// Disable uninstalls the collector, returning it (if any) so buffered spans
+// can still be exported.
+func Disable() *Collector {
+	c := active.Load()
+	active.Store(nil)
+	return c
+}
+
+// Active returns the installed collector, or nil when disabled.
+func Active() *Collector { return active.Load() }
+
+// Enabled reports whether a collector is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Resolve returns the collector a call site should record into: the
+// explicitly injected one when non-nil, the installed process-wide one
+// otherwise. With neither, the nil result makes every method a no-op —
+// this load + nil check is the entire disabled path.
+func Resolve(c *Collector) *Collector {
+	if c != nil {
+		return c
+	}
+	return active.Load()
+}
+
+// bindingFor returns (creating if needed) the block's binding. Caller holds mu.
+func (c *Collector) bindingFor(block types.Hash) *binding {
+	b := c.byBlock[block]
+	if b == nil {
+		b = &binding{traceID: c.seq.Add(1)}
+		c.byBlock[block] = b
+	}
+	return b
+}
+
+// append stores one span in the ring. Caller holds mu.
+func (c *Collector) append(sp Span) {
+	c.spans[c.next] = sp
+	c.next++
+	c.total++
+	if c.next == len(c.spans) {
+		c.next = 0
+		c.filled = true
+	}
+}
+
+// RecordSpan records one completed stage of a block. Safe on nil.
+func (c *Collector) RecordSpan(node string, stage Stage, block types.Hash, height uint64, start, end time.Time) {
+	if c == nil {
+		return
+	}
+	id := c.seq.Add(1)
+	c.mu.Lock()
+	b := c.bindingFor(block)
+	sp := Span{
+		TraceID: b.traceID, SpanID: id, Parent: b.rootSpan,
+		Stage: stage, Node: node, Height: height, Block: block,
+		Start: start, End: end,
+	}
+	if stage == StageSeal {
+		b.rootSpan = id
+		sp.Parent = 0
+	}
+	c.append(sp)
+	c.mu.Unlock()
+}
+
+// SpanRef is an in-flight stage measurement for a block whose hash is
+// already known. The zero SpanRef (tracing disabled) makes End a no-op.
+type SpanRef struct {
+	c      *Collector
+	node   string
+	stage  Stage
+	block  types.Hash
+	height uint64
+	start  time.Time
+}
+
+// StartStage begins a stage span. Safe on nil (returns the zero SpanRef).
+func (c *Collector) StartStage(node string, stage Stage, block types.Hash, height uint64) SpanRef {
+	if c == nil {
+		return SpanRef{}
+	}
+	return SpanRef{c: c, node: node, stage: stage, block: block, height: height, start: time.Now()}
+}
+
+// End completes the stage span. Safe on the zero SpanRef.
+func (s SpanRef) End() {
+	if s.c == nil {
+		return
+	}
+	s.c.RecordSpan(s.node, s.stage, s.block, s.height, s.start, time.Now())
+}
+
+// SealRef is an in-flight seal measurement: the block hash only exists once
+// the header is complete, so End takes it late.
+type SealRef struct {
+	c      *Collector
+	node   string
+	height uint64
+	start  time.Time
+}
+
+// StartSeal begins the proposer's seal span. Safe on nil.
+func (c *Collector) StartSeal(node string, height uint64) SealRef {
+	if c == nil {
+		return SealRef{}
+	}
+	return SealRef{c: c, node: node, height: height, start: time.Now()}
+}
+
+// End completes the seal span against the now-known block hash, binding the
+// block's trace id and root span. Safe on the zero SealRef.
+func (s SealRef) End(block types.Hash) {
+	if s.c == nil {
+		return
+	}
+	s.c.RecordSpan(s.node, StageSeal, block, s.height, s.start, time.Now())
+}
+
+// ContextFor returns the propagated trace header for a block about to be
+// broadcast, stamping the send time. Safe on nil (returns the zero Context,
+// which receivers ignore).
+func (c *Collector) ContextFor(block types.Hash) Context {
+	if c == nil {
+		return Context{}
+	}
+	c.mu.Lock()
+	b := c.bindingFor(block)
+	ctx := Context{TraceID: b.traceID, ParentSpan: b.rootSpan}
+	c.mu.Unlock()
+	ctx.SentUnixNano = time.Now().UnixNano()
+	return ctx
+}
+
+// Delivered records the transfer span receiver-side: the block identified
+// by ctx arrived on node `to` from node `from`. The receiver adopts the
+// sender's trace id so cross-node spans stitch. A zero ctx is ignored.
+// Safe on nil.
+func (c *Collector) Delivered(from, to string, height uint64, block types.Hash, ctx Context) {
+	if c == nil || ctx.TraceID == 0 {
+		return
+	}
+	end := time.Now()
+	start := time.Unix(0, ctx.SentUnixNano)
+	if start.After(end) {
+		start = end
+	}
+	id := c.seq.Add(1)
+	c.mu.Lock()
+	b := c.byBlock[block]
+	if b == nil {
+		b = &binding{traceID: ctx.TraceID, rootSpan: ctx.ParentSpan}
+		c.byBlock[block] = b
+	}
+	c.append(Span{
+		TraceID: b.traceID, SpanID: id, Parent: ctx.ParentSpan,
+		Stage: StageTransfer, Node: to, From: from,
+		Height: height, Block: block, Start: start, End: end,
+	})
+	c.mu.Unlock()
+}
+
+// Spans returns the buffered spans oldest-first (ring insertion order).
+func (c *Collector) Spans() []Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.filled {
+		return append([]Span(nil), c.spans[:c.next]...)
+	}
+	out := make([]Span, 0, len(c.spans))
+	out = append(out, c.spans[c.next:]...)
+	out = append(out, c.spans[:c.next]...)
+	return out
+}
+
+// SpansFor returns the buffered spans of one block, oldest-first.
+func (c *Collector) SpansFor(block types.Hash) []Span {
+	if c == nil {
+		return nil
+	}
+	var out []Span
+	for _, sp := range c.Spans() {
+		if sp.Block == block {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Total returns how many spans were ever recorded (including evicted).
+func (c *Collector) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Len returns how many spans are currently buffered.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.filled {
+		return len(c.spans)
+	}
+	return c.next
+}

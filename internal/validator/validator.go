@@ -24,12 +24,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blockpilot/internal/chain"
 	"blockpilot/internal/flight"
 	"blockpilot/internal/scheduler"
 	"blockpilot/internal/state"
 	"blockpilot/internal/telemetry"
+	"blockpilot/internal/trace"
 	"blockpilot/internal/types"
 	"blockpilot/internal/uint256"
 )
@@ -61,6 +63,11 @@ type Config struct {
 	// used purely for scheduling, and the state root remains the sole
 	// acceptance criterion.
 	SkipProfileCheck bool
+	// Node names this validator in block-trace spans (default "validator").
+	Node string
+	// Tracer injects a block-trace collector; nil falls back to the
+	// process-global one (trace.Active).
+	Tracer *trace.Collector
 }
 
 // DefaultConfig is the paper's configuration.
@@ -129,9 +136,23 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 		return nil, fmt.Errorf("%w: tx root mismatch", ErrBadBlock)
 	}
 
+	// Block-trace identity for this validation attempt. The hash is only
+	// computed when a collector is installed (Header.Hash is keccak over RLP
+	// on every call).
+	tr := trace.Resolve(cfg.Tracer)
+	node := cfg.Node
+	if node == "" {
+		node = "validator"
+	}
+	var bh types.Hash
+	if tr != nil {
+		bh = block.Hash()
+	}
+
 	// Preparation phase. The dependency graph's union-find is built with a
 	// parallel partition+merge pass across the validator's threads, so
 	// preparation stops being serial ahead of the gas-LPT assignment.
+	prepStart := time.Now()
 	prepSpan := telemetry.StartSpan("pipeline.prepare", h.Number, telemetry.PipelinePrepareSeconds)
 	graphSpan := telemetry.StartSpan("validator.graph_build", h.Number, telemetry.ValidatorGraphBuildSeconds)
 	components := scheduler.BuildComponentsParallel(block.Profile, cfg.AccountLevel, cfg.Threads)
@@ -139,6 +160,7 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 	sched := cfg.Assign(components, cfg.Threads)
 	stats := scheduler.ComputeStats(components)
 	prepSpan.End()
+	tr.RecordSpan(node, trace.StagePrepare, bh, h.Number, prepStart, time.Now())
 	if telemetry.Enabled() {
 		telemetry.ValidatorSubgraphs.Observe(uint64(stats.ComponentCount))
 		for i := range components {
@@ -166,6 +188,7 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 	}
 
 	// Tx execution phase: one goroutine per scheduled thread.
+	execStart := time.Now()
 	execSpan := telemetry.StartSpan("pipeline.execute", h.Number, telemetry.PipelineExecuteSeconds)
 	bc := chain.BlockContextFor(h, params.ChainID)
 	results := make(chan txResult, len(block.Txs))
@@ -210,6 +233,10 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 	go func() {
 		wg.Wait()
 		execSpan.End()
+		// Record before close(results): the applier only finishes after the
+		// channel closes, so the execute span is always buffered by the time
+		// the commit span lands and PathFor assembles the chain.
+		tr.RecordSpan(node, trace.StageExecute, bh, h.Number, execStart, time.Now())
 		close(results)
 	}()
 
@@ -217,6 +244,7 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 	// order, verify each access set against the profile, aggregate. Note the
 	// validate span overlaps the execute span: the applier consumes results
 	// as the lanes stream them (paper Fig. 4).
+	valStart := time.Now()
 	valSpan := telemetry.StartSpan("pipeline.validate", h.Number, telemetry.PipelineValidateSeconds)
 	total := state.NewChangeSet()
 	receipts := make([]*types.Receipt, len(block.Txs))
@@ -264,6 +292,7 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 		}
 	}
 	valSpan.End()
+	tr.RecordSpan(node, trace.StageVerify, bh, h.Number, valStart, time.Now())
 	if vErr != nil {
 		return nil, vErr
 	}
@@ -272,6 +301,7 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 	}
 
 	// Block commitment phase.
+	commitStart := time.Now()
 	commitSpan := telemetry.StartSpan("pipeline.commit", h.Number, telemetry.PipelineCommitSeconds)
 	defer commitSpan.End()
 	if cumulative != h.GasUsed {
@@ -286,9 +316,16 @@ func validateParallel(parent *state.Snapshot, parentHeader *types.Header, block 
 	accum := state.NewMemory(parent)
 	accum.ApplyChangeSet(total)
 	total.Merge(chain.FinalizationChange(accum, h.Coinbase, &fees, params))
+	scStart := time.Now()
 	postState, got := chain.CommitAndRoot(parent, total, params, h.Number)
+	scEnd := time.Now()
 	if got != h.StateRoot {
 		return nil, fmt.Errorf("%w: state root %s != header %s", ErrBadBlock, got, h.StateRoot)
 	}
+	// Commit-phase spans are recorded on the success path only: a rejected
+	// block never commits, and the sim's tracing oracle requires a complete
+	// chain exactly for committed blocks.
+	tr.RecordSpan(node, trace.StageStateCommit, bh, h.Number, scStart, scEnd)
+	tr.RecordSpan(node, trace.StageCommit, bh, h.Number, commitStart, time.Now())
 	return &Result{State: postState, Receipts: receipts, Stats: stats}, nil
 }
