@@ -1,7 +1,8 @@
 # BlockPilot CI entry points. `make ci` is what the tier-1 gate runs:
 # vet + build + full test suite + race detector on the concurrency-heavy
-# packages (OCC-WSI core, mempool, pipeline, network, sim, telemetry, flight
-# recorder) + the flight-recorder and block-tracer disabled-path budget gates
+# packages (OCC-WSI core, MV-STM engine, mempool, pipeline, network, sim,
+# telemetry, flight recorder) + the flight-recorder and block-tracer
+# disabled-path budget gates
 # + a short-mode smoke of the contention benchmark suite + the
 # cluster-simulator scenario matrix with its mutation self-check and span-chain
 # oracle (sim-smoke) + a short corpus pass over the fuzz targets (fuzz-smoke).
@@ -39,7 +40,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/mempool/... ./internal/pipeline/... ./internal/network/... ./internal/telemetry/... ./internal/flight/... ./internal/trace/... ./internal/trie/... ./internal/state/...
+	$(GO) test -race ./internal/core/... ./internal/mv/... ./internal/mempool/... ./internal/pipeline/... ./internal/network/... ./internal/telemetry/... ./internal/flight/... ./internal/trace/... ./internal/trie/... ./internal/state/...
 
 # Race detector over the *entire* module, cluster simulator included. Slower
 # than `race`; run before merging concurrency changes.
@@ -56,16 +57,21 @@ flight-budget:
 trace-budget:
 	$(GO) test -run TestDisabledPathBudget -count=1 ./internal/trace/
 
-# Short-mode pass over the contention + state-commit suites: every code
-# path, seconds of runtime, no artifact written.
+# Short-mode pass over the contention + state-commit suites (every code
+# path, seconds of runtime, no artifact written) plus the MV-STM engine
+# smoke: one mixed block through the Block-STM proposer, serializability
+# checked against a serial replay.
 bench-smoke:
 	$(GO) test -short -run 'TestContentionSmoke|TestStateCommitSmoke' ./internal/bench/
+	$(GO) test -short -count=1 -run 'TestMVSmoke' ./internal/core/
 
-# Cluster-simulator gate: every fault scenario (9) at 4 seeds, all five
-# oracles checked per run (serializability, parity, pipeline-safety,
-# corruption-detection, span-chain completeness), digest-determinism
-# double-runs, and the seeded-bug mutation self-check. A failing run prints
-# `bpbench -exp sim -scenario S -seed N` to replay it exactly.
+# Cluster-simulator gate: every fault scenario (9) at 4 seeds under BOTH
+# proposer engines (TestScenarioMatrix = occ-wsi, TestScenarioMatrixMVSTM =
+# mv-stm), all five oracles checked per run (serializability, parity,
+# pipeline-safety, corruption-detection, span-chain completeness),
+# digest-determinism double-runs, and the seeded-bug mutation self-check.
+# A failing run prints `bpbench -exp sim -scenario S -seed N -engine E` to
+# replay it exactly.
 sim-smoke:
 	$(GO) test -count=1 -run 'TestScenarioMatrix|TestDigestDeterminism|TestMutationSelfCheck|TestTraceSpansComplete' ./internal/sim/
 
@@ -76,6 +82,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzTrieBatchVsUpdate -fuzztime 3s ./internal/trie/
 	$(GO) test -run '^$$' -fuzz FuzzBlockProfileRoundTrip -fuzztime 3s ./internal/types/
 	$(GO) test -run '^$$' -fuzz FuzzMempoolAdmit -fuzztime 3s ./internal/mempool/
+	$(GO) test -run '^$$' -fuzz FuzzMVVersionChain -fuzztime 3s ./internal/mv/
 
 # Full baseline: contention suite -> BENCH_proposer.json, validator suite ->
 # BENCH_validator.json, state-commit suite -> BENCH_state.json, then the Go
@@ -86,9 +93,11 @@ bench: bench-go
 	$(GO) run ./cmd/bpbench -exp state -telemetry-report=false -bench-out BENCH_state.json
 
 # Bench regression gate: re-record the three suites into a scratch dir and
-# diff their headline metrics (best commits/s and txs/s per workload,
-# state-commit speedup) against the committed BENCH_*.json baselines with
-# cmd/benchdiff, failing when one regressed more than BENCH_THRESHOLD.
+# diff their headline metrics (best commits/s and txs/s per workload, best
+# commits/s per (workload, engine) of the OCC-WSI vs MV-STM ablation —
+# notably the MV-STM Zipfian row — state-commit speedup) against the
+# committed BENCH_*.json baselines with cmd/benchdiff, failing when one
+# regressed more than BENCH_THRESHOLD.
 BENCH_THRESHOLD ?= 0.15
 bench-check:
 	@mkdir -p .bench-check

@@ -10,7 +10,9 @@
 // artifacts `make bench` writes:
 //
 //	proposer (BENCH_proposer.json) — headline: best commits_per_sec per
-//	    mvstate workload, plus best end-to-end propose txs_per_sec
+//	    mvstate workload, best end-to-end propose txs_per_sec, and best
+//	    commits_per_sec per (workload, engine) of the OCC-WSI vs MV-STM
+//	    ablation
 //	validator (BENCH_validator.json) — headline: best txs_per_sec per
 //	    workload
 //	state (BENCH_state.json) — headline: speedup_at_4_workers
@@ -31,6 +33,7 @@ import (
 // point is the union of the per-configuration records in all three files.
 type point struct {
 	Workload      string  `json:"workload"`
+	Engine        string  `json:"engine"`
 	Stripes       int     `json:"stripes"`
 	Threads       int     `json:"threads"`
 	Workers       int     `json:"workers"`
@@ -39,9 +42,13 @@ type point struct {
 }
 
 // benchFile is the union shape of BENCH_proposer/validator/state.json.
+// Unknown keys are ignored on purpose: a fresh artifact with rows a baseline
+// predates (e.g. the engine ablation) must diff cleanly against it — only
+// metrics present in the *baseline* can go MISSING.
 type benchFile struct {
 	MVState           []point  `json:"mvstate"`
 	Propose           []point  `json:"propose"`
+	Engine            []point  `json:"engine"`
 	Points            []point  `json:"points"`
 	SpeedupAt4Workers *float64 `json:"speedup_at_4_workers"`
 }
@@ -60,6 +67,14 @@ func headlines(f *benchFile) (map[string]float64, string) {
 		for _, p := range f.Propose {
 			if p.TxsPerSec > out["propose/best_txs_per_sec"] {
 				out["propose/best_txs_per_sec"] = p.TxsPerSec
+			}
+		}
+		for _, p := range f.Engine {
+			// Per (workload, engine) best commit rate — the OCC-WSI vs MV-STM
+			// ablation headline (notably engine/zipf/mv-stm).
+			key := "engine/" + p.Workload + "/" + p.Engine + "/best_commits_per_sec"
+			if p.CommitsPerSec > out[key] {
+				out[key] = p.CommitsPerSec
 			}
 		}
 		return out, "proposer"

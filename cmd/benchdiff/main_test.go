@@ -116,6 +116,55 @@ func TestDiffThreshold(t *testing.T) {
 	}
 }
 
+// TestEngineHeadlines: the OCC-WSI vs MV-STM ablation rows contribute
+// per-(workload, engine) headlines.
+func TestEngineHeadlines(t *testing.T) {
+	f, err := load(writeFile(t, "e.json", `{
+	  "mvstate": [{"workload": "uniform", "commits_per_sec": 100}],
+	  "engine": [
+	    {"workload": "zipf", "engine": "occ-wsi", "threads": 1, "commits_per_sec": 4000},
+	    {"workload": "zipf", "engine": "occ-wsi", "threads": 4, "commits_per_sec": 5000},
+	    {"workload": "zipf", "engine": "mv-stm", "threads": 4, "commits_per_sec": 9000},
+	    {"workload": "hotspot", "engine": "mv-stm", "threads": 4, "commits_per_sec": 7000}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, kind := headlines(f)
+	if kind != "proposer" {
+		t.Fatalf("kind %q", kind)
+	}
+	if h["engine/zipf/occ-wsi/best_commits_per_sec"] != 5000 ||
+		h["engine/zipf/mv-stm/best_commits_per_sec"] != 9000 ||
+		h["engine/hotspot/mv-stm/best_commits_per_sec"] != 7000 {
+		t.Fatalf("engine headlines wrong: %v", h)
+	}
+}
+
+// TestOldBaselineToleratesNewRows: a baseline recorded before the engine
+// ablation existed must diff cleanly against a fresh artifact that carries
+// the extra rows — added sections are not shape drift.
+func TestOldBaselineToleratesNewRows(t *testing.T) {
+	base := writeFile(t, "old.json", proposerBase)
+	fresh := writeFile(t, "new.json", `{
+	  "mvstate": [
+	    {"workload": "uniform", "commits_per_sec": 400000},
+	    {"workload": "zipf", "commits_per_sec": 250000}
+	  ],
+	  "propose": [
+	    {"engine": "occ-wsi", "stripes": 64, "threads": 4, "txs_per_sec": 9000}
+	  ],
+	  "engine": [
+	    {"workload": "zipf", "engine": "mv-stm", "threads": 4, "commits_per_sec": 9000}
+	  ],
+	  "mv_vs_occ_zipf_speedup_at_4_threads": 1.8
+	}`)
+	if n, err := diff(base, fresh, 0.15); err != nil || n != 0 {
+		t.Fatalf("old baseline vs new-shape fresh: regressions=%d err=%v, want 0", n, err)
+	}
+}
+
 // TestCommittedBaselinesParse: the repo's own BENCH_*.json artifacts must
 // stay recognizable to the gate (a shape drift here would make bench-check
 // vacuous).

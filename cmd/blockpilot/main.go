@@ -57,6 +57,7 @@ func main() {
 	proposers := flag.Int("proposers", 3, "proposer nodes")
 	validators := flag.Int("validators", 2, "validator-only nodes")
 	threads := flag.Int("threads", 8, "execution threads per node")
+	engineFlag := flag.String("engine", core.EngineOCCWSI, "proposer execution engine: occ-wsi (abort+retry) or mv-stm (Block-STM multi-version)")
 	stripes := flag.Int("stripes", 0, "proposer MVState lock stripes (0 = default, 1 = single-lock ablation)")
 	popBatch := flag.Int("pop-batch", 0, "transactions claimed from the mempool per worker trip (0 = default)")
 	forkProb := flag.Float64("fork-prob", 0.35, "per-round fork probability")
@@ -212,6 +213,7 @@ func main() {
 			head := pn.chain.Head()
 			start := time.Now()
 			res, err := core.Propose(pn.chain.StateOf(head.Hash()), &head.Header, pool, core.ProposerConfig{
+				Engine:   *engineFlag,
 				Threads:  *threads,
 				Coinbase: coinbase,
 				Time:     uint64(r + 1),

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"blockpilot/internal/bench"
+	"blockpilot/internal/core"
 	"blockpilot/internal/sim"
 	"blockpilot/internal/telemetry"
 	"blockpilot/internal/trace"
@@ -47,6 +48,7 @@ func main() {
 	benchOut := flag.String("bench-out", "", "contention: also write the result as JSON to this file (e.g. BENCH_proposer.json)")
 	quick := flag.Bool("quick", false, "contention: use the reduced CI-smoke workload")
 	commitWorkers := flag.Int("commit-workers", 0, "state commit & root hashing workers at every seal/verify site (0 = auto, 1 = serial ablation)")
+	engine := flag.String("engine", core.EngineOCCWSI, "sim: proposer execution engine ("+strings.Join(core.Engines(), "|")+"); contention always sweeps both")
 	scenario := flag.String("scenario", "all", "sim: fault scenario ("+strings.Join(sim.Scenarios(), "|")+") or \"all\"")
 	simHeights := flag.Int("sim-heights", 0, "sim: canonical blocks per run (0 = scenario default)")
 	simValidators := flag.Int("sim-validators", 0, "sim: validator nodes per run (0 = scenario default)")
@@ -201,6 +203,7 @@ func main() {
 			if *simValidators > 0 {
 				cfg.Validators = *simValidators
 			}
+			cfg.Engine = *engine
 			cfg.MutationCheck = *simMutation
 			rep, err := sim.Run(cfg)
 			fatalIf(err)

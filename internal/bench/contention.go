@@ -39,6 +39,7 @@ type ContentionOptions struct {
 	MempoolTxs    int   // transactions cycled through the pool benchmark
 	PopBatches    []int // mempool claim sizes to compare (1 = pre-batching)
 	ProposeBlocks int   // end-to-end Propose repeats per config (0 = skip)
+	EngineTxs     int   // txs per engine-ablation block (0 = skip the sweep)
 	Seed          int64
 }
 
@@ -54,6 +55,7 @@ func DefaultContentionOptions() ContentionOptions {
 		MempoolTxs:    20000,
 		PopBatches:    []int{1, core.DefaultPopBatch, 8},
 		ProposeBlocks: 3,
+		EngineTxs:     2048,
 		Seed:          1,
 	}
 }
@@ -71,6 +73,7 @@ func QuickContentionOptions() ContentionOptions {
 		MempoolTxs:    2000,
 		PopBatches:    []int{1, 8},
 		ProposeBlocks: 1,
+		EngineTxs:     256,
 		Seed:          1,
 	}
 }
@@ -91,24 +94,41 @@ type MVStatePoint struct {
 // MempoolPoint is one (batch, threads) measurement of pool claim/settle
 // throughput.
 type MempoolPoint struct {
-	Batch      int     `json:"batch"`
-	Threads    int     `json:"threads"`
-	Txs        int     `json:"txs"`
-	ElapsedMs  float64 `json:"elapsed_ms"`
-	TxsPerSec  float64 `json:"txs_per_sec"`
-	LockTrips  int64   `json:"lock_trips"` // PopBatch calls made
-	MeanBatch  float64 `json:"mean_batch"`
+	Batch     int     `json:"batch"`
+	Threads   int     `json:"threads"`
+	Txs       int     `json:"txs"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	TxsPerSec float64 `json:"txs_per_sec"`
+	LockTrips int64   `json:"lock_trips"` // PopBatch calls made
+	MeanBatch float64 `json:"mean_batch"`
 }
 
 // ProposePoint is one end-to-end Propose measurement on the synthetic
 // mainnet-like workload.
 type ProposePoint struct {
+	Engine    string  `json:"engine"`
 	Stripes   int     `json:"stripes"`
 	Threads   int     `json:"threads"`
 	Txs       int     `json:"txs"`
 	Aborts    int     `json:"aborts"`
 	ElapsedMs float64 `json:"elapsed_ms"` // fastest repeat
 	TxsPerSec float64 `json:"txs_per_sec"`
+}
+
+// EnginePoint is one (workload, engine, threads) measurement of the
+// OCC-WSI vs MV-STM single-axis ablation: the same contended transfer block
+// packed end to end by each engine. Aborts is the engine's wasted-work
+// counter — OCC-WSI aborts, MV-STM re-executions — so AbortRatio (wasted
+// work per committed transaction) is comparable across engines.
+type EnginePoint struct {
+	Workload      string  `json:"workload"` // "uniform" | "zipf" | "hotspot"
+	Engine        string  `json:"engine"`
+	Threads       int     `json:"threads"`
+	Txs           int     `json:"txs"`
+	Aborts        int     `json:"aborts"`
+	ElapsedMs     float64 `json:"elapsed_ms"` // fastest repeat
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	AbortRatio    float64 `json:"abort_ratio"` // aborts / committed
 }
 
 // ContentionResult is the whole suite's outcome — the payload of
@@ -121,6 +141,7 @@ type ContentionResult struct {
 	MVState        []MVStatePoint `json:"mvstate"`
 	Mempool        []MempoolPoint `json:"mempool"`
 	Propose        []ProposePoint `json:"propose,omitempty"`
+	Engine         []EnginePoint  `json:"engine,omitempty"`
 
 	// UniformSpeedupAt8 is striped ÷ single-lock MVState commit throughput
 	// at 8 threads on the uniform workload (the PR-2 acceptance number;
@@ -129,6 +150,13 @@ type ContentionResult struct {
 	// ZipfAbortDelta is (striped − single-lock) abort rate at 8 threads on
 	// the Zipfian workload (regression guard: must stay small).
 	ZipfAbortDelta float64 `json:"zipf_abort_rate_delta_at_8_threads,omitempty"`
+
+	// MVZipfSpeedupAt4 is MV-STM ÷ OCC-WSI commits/sec at 4 threads on the
+	// Zipfian engine-ablation workload (the PR-7 acceptance number), and
+	// MVZipfAbortRatioDelta the matching (mv − occ) wasted-work-per-commit
+	// delta (must be negative: MV re-executes less than OCC aborts).
+	MVZipfSpeedupAt4      float64 `json:"mv_vs_occ_zipf_speedup_at_4_threads,omitempty"`
+	MVZipfAbortRatioDelta float64 `json:"mv_vs_occ_zipf_abort_ratio_delta_at_4_threads,omitempty"`
 }
 
 // contentionAddrs derives a stable account population.
@@ -307,6 +335,7 @@ func runProposePoint(o ContentionOptions, wcfg workload.Config, stripes, threads
 		effStripes = core.DefaultStripes
 	}
 	p := ProposePoint{
+		Engine:    core.EngineOCCWSI,
 		Stripes:   effStripes,
 		Threads:   threads,
 		Txs:       lastRes.Committed,
@@ -315,6 +344,84 @@ func runProposePoint(o ContentionOptions, wcfg workload.Config, stripes, threads
 	}
 	if s := best.Seconds(); s > 0 {
 		p.TxsPerSec = float64(p.Txs) / s
+	}
+	return p, nil
+}
+
+// engineWorkload builds one contended block for the engine ablation, with
+// real execution weight (AMM swaps with spin padding) so conflict windows
+// span concurrent execution — plain 21k-gas transfers finish too fast for
+// either engine's conflict machinery to matter. "uniform" is the
+// no-contention baseline (pure native transfers over the full account
+// population); "zipf" piles most of the block Zipfian onto the hottest of
+// 8 AMM pairs; "hotspot" swaps every transaction against a single pair —
+// one block-wide conflict chain. This is the axis the engines resolve
+// differently: OCC-WSI aborts at commit and re-executes from the pool,
+// MV-STM suspends the reader on its exact dependency.
+func engineWorkload(o ContentionOptions, kind string) ([]*types.Transaction, *state.Snapshot, chain.Params) {
+	wcfg := workload.Default()
+	wcfg.Seed = o.Seed
+	wcfg.TxPerBlock = o.EngineTxs
+	wcfg.NumAccounts = o.Accounts
+	switch kind {
+	case "zipf":
+		wcfg.NativeRatio, wcfg.SwapRatio, wcfg.MixerRatio = 0.2, 0.8, 0
+		wcfg.NumPairs = 8 // ZipfS-skewed pair popularity (workload default)
+	case "hotspot":
+		wcfg.NativeRatio, wcfg.SwapRatio, wcfg.MixerRatio = 0, 1.0, 0
+		wcfg.NumPairs = 1
+	default: // uniform
+		wcfg.NativeRatio, wcfg.SwapRatio, wcfg.MixerRatio = 1.0, 0, 0
+	}
+	g := workload.New(wcfg)
+	st := g.GenesisState()
+	txs := g.NextBlockTxs()
+	params := chain.DefaultParams()
+	params.GasLimit = uint64(len(txs)) * 2_000_000 // the whole block fits
+	return txs, st, params
+}
+
+// runEnginePoint packs the contended block with one engine at one thread
+// count, reporting commit throughput and the wasted-work ratio.
+func runEnginePoint(o ContentionOptions, kind, engine string, threads, repeats int) (EnginePoint, error) {
+	// Each point starts from the same fully-speculative state; the repeats
+	// then measure the engine with its cross-block window carry warmed up
+	// (best time and the last repeat's abort count are both steady-state).
+	core.ResetMVWindowHint()
+	txs, st, params := engineWorkload(o, kind)
+	parentHeader := &types.Header{Number: 0, StateRoot: st.Root(), GasLimit: params.GasLimit}
+
+	var best time.Duration = 1<<63 - 1
+	var lastRes *core.ProposeResult
+	for r := 0; r < repeats; r++ {
+		pool := mempool.New()
+		pool.AddAll(txs)
+		startR := time.Now()
+		res, err := core.Propose(st, parentHeader, pool, core.ProposerConfig{
+			Engine: engine, Threads: threads,
+			Coinbase: types.HexToAddress("0xc01bbace"), Time: 1,
+		}, params)
+		if err != nil {
+			return EnginePoint{}, err
+		}
+		if d := time.Since(startR); d < best {
+			best = d
+		}
+		lastRes = res
+	}
+	p := EnginePoint{
+		Workload:  kind,
+		Engine:    engine,
+		Threads:   threads,
+		Txs:       lastRes.Committed,
+		Aborts:    lastRes.Aborts,
+		ElapsedMs: float64(best.Nanoseconds()) / 1e6,
+	}
+	if s := best.Seconds(); s > 0 {
+		p.CommitsPerSec = float64(p.Txs) / s
+	}
+	if p.Txs > 0 {
+		p.AbortRatio = float64(p.Aborts) / float64(p.Txs)
 	}
 	return p, nil
 }
@@ -380,6 +487,35 @@ func RunContention(o ContentionOptions) (*ContentionResult, error) {
 			}
 		}
 	}
+
+	if o.EngineTxs > 0 {
+		repeats := o.ProposeBlocks
+		if repeats < 1 {
+			repeats = 1
+		}
+		type ePoint struct{ cps, ratio float64 }
+		zipfAt4 := map[string]ePoint{}
+		for _, kind := range []string{"uniform", "zipf", "hotspot"} {
+			for _, engine := range core.Engines() {
+				for _, threads := range o.Threads {
+					p, err := runEnginePoint(o, kind, engine, threads, repeats)
+					if err != nil {
+						return nil, fmt.Errorf("contention engine (%s %s threads=%d): %w", kind, engine, threads, err)
+					}
+					res.Engine = append(res.Engine, p)
+					if kind == "zipf" && threads == 4 {
+						zipfAt4[engine] = ePoint{p.CommitsPerSec, p.AbortRatio}
+					}
+				}
+			}
+		}
+		if occ, ok := zipfAt4[core.EngineOCCWSI]; ok && occ.cps > 0 {
+			if mv, ok := zipfAt4[core.EngineMVSTM]; ok {
+				res.MVZipfSpeedupAt4 = mv.cps / occ.cps
+				res.MVZipfAbortRatioDelta = mv.ratio - occ.ratio
+			}
+		}
+	}
 	return res, nil
 }
 
@@ -398,7 +534,7 @@ func (r *ContentionResult) Render() string {
 	fmt.Fprintf(&b, "Contention suite — GOMAXPROCS=%d, NumCPU=%d (stripe scaling needs a multicore host)\n\n",
 		r.GOMAXPROCS, r.NumCPU)
 
-	fmt.Fprintf(&b, "MVState commit hot path (commits/sec; aborts not retried):\n")
+	fmt.Fprintf(&b, "MVState commit hot path [engine occ-wsi] (commits/sec; aborts not retried):\n")
 	fmt.Fprintf(&b, "  %-8s %-8s %8s %14s %12s\n", "workload", "stripes", "threads", "commits/s", "abort rate")
 	for _, p := range r.MVState {
 		fmt.Fprintf(&b, "  %-8s %-8d %8d %14.0f %11.2f%%\n",
@@ -417,9 +553,27 @@ func (r *ContentionResult) Render() string {
 
 	if len(r.Propose) > 0 {
 		fmt.Fprintf(&b, "\nEnd-to-end Propose (synthetic mainnet-like block):\n")
-		fmt.Fprintf(&b, "  %-8s %8s %8s %10s %8s\n", "stripes", "threads", "txs/s", "block ms", "aborts")
+		fmt.Fprintf(&b, "  %-8s %-8s %8s %8s %10s %8s\n", "engine", "stripes", "threads", "txs/s", "block ms", "aborts")
 		for _, p := range r.Propose {
-			fmt.Fprintf(&b, "  %-8d %8d %8.0f %10.1f %8d\n", p.Stripes, p.Threads, p.TxsPerSec, p.ElapsedMs, p.Aborts)
+			engine := p.Engine
+			if engine == "" {
+				engine = core.EngineOCCWSI
+			}
+			fmt.Fprintf(&b, "  %-8s %-8d %8d %8.0f %10.1f %8d\n", engine, p.Stripes, p.Threads, p.TxsPerSec, p.ElapsedMs, p.Aborts)
+		}
+	}
+
+	if len(r.Engine) > 0 {
+		fmt.Fprintf(&b, "\nEngine ablation — OCC-WSI vs MV-STM on contended transfer blocks\n")
+		fmt.Fprintf(&b, "(aborts = occ aborts / mv re-executions; ratio = wasted work per commit):\n")
+		fmt.Fprintf(&b, "  %-8s %-8s %8s %12s %10s %12s\n", "workload", "engine", "threads", "commits/s", "block ms", "abort ratio")
+		for _, p := range r.Engine {
+			fmt.Fprintf(&b, "  %-8s %-8s %8d %12.0f %10.1f %12.3f\n",
+				p.Workload, p.Engine, p.Threads, p.CommitsPerSec, p.ElapsedMs, p.AbortRatio)
+		}
+		if r.MVZipfSpeedupAt4 > 0 {
+			fmt.Fprintf(&b, "  mv-stm vs occ-wsi at 4 threads (zipf): %.2fx commits/s, abort-ratio delta %+.3f\n",
+				r.MVZipfSpeedupAt4, r.MVZipfAbortRatioDelta)
 		}
 	}
 	return b.String()

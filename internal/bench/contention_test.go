@@ -55,6 +55,22 @@ func TestContentionSmoke(t *testing.T) {
 		if p.Txs == 0 || p.TxsPerSec <= 0 {
 			t.Fatalf("empty propose point: %+v", p)
 		}
+		if p.Engine == "" {
+			t.Fatalf("propose point missing engine: %+v", p)
+		}
+	}
+	if want := 3 * len(core.Engines()) * len(o.Threads); len(res.Engine) != want {
+		t.Fatalf("Engine points = %d, want %d", len(res.Engine), want)
+	}
+	for _, p := range res.Engine {
+		// Both engines must commit the whole contended block: every sender
+		// has one tx and the gas limit fits them all.
+		if p.Txs != o.EngineTxs {
+			t.Fatalf("%s %s threads=%d: committed %d of %d", p.Workload, p.Engine, p.Threads, p.Txs, o.EngineTxs)
+		}
+		if p.CommitsPerSec <= 0 {
+			t.Fatalf("non-positive engine throughput: %+v", p)
+		}
 	}
 
 	// The JSON artifact must round-trip.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,12 +17,22 @@ import (
 	"blockpilot/internal/uint256"
 )
 
-// ProposerConfig configures the OCC-WSI proposer engine.
+// ProposerConfig configures the parallel proposer engines.
 type ProposerConfig struct {
 	Threads    int
 	Coinbase   types.Address
 	Time       uint64
 	MaxRetries int // aborts allowed per transaction before it is dropped
+	// Engine selects the parallel execution backend: EngineOCCWSI (the
+	// default, also selected by "") or EngineMVSTM, the Block-STM-style
+	// multi-version engine in internal/mv (-engine flag, DESIGN.md §5.7).
+	Engine string
+	// MVFaultStaleReads breaks the MV-STM engine on purpose — every read
+	// resolves from the parent snapshot and validation passes vacuously —
+	// for the simulator's mutation self-check (docs/TESTING.md): the
+	// serializability oracle must reject the resulting blocks. Never set
+	// outside that check.
+	MVFaultStaleReads bool
 	// AccountLevelKeys coarsens the reserve table to whole accounts
 	// (ablation, DESIGN.md §5.1): two transactions touching different
 	// storage slots of one contract then conflict and one aborts. The
@@ -86,19 +97,34 @@ type committedTx struct {
 	profile *types.TxProfile
 }
 
-// Propose packs a new block from the pending pool using OCC-WSI parallel
-// execution (paper Algorithm 1). Worker threads claim transactions by gas
-// price in small batches, execute them against versioned snapshots, and
-// commit through the (striped) reserve-table validation; conflicted
-// transactions return to the pool. The block's transaction order is the
-// commit (serialization) order, and the block profile carries each
-// transaction's read/write sets.
+// Propose packs a new block from the pending pool with the configured
+// parallel engine (cfg.Engine): OCC-WSI (default) or MV-STM. Both funnel
+// into the same ProposeResult and seal path — block profile, header
+// commitments, flight events and trace spans are engine-agnostic.
+func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.Pool,
+	cfg ProposerConfig, params chain.Params) (*ProposeResult, error) {
+	switch cfg.Engine {
+	case "", EngineOCCWSI:
+		return proposeOCC(parent, parentHeader, pool, cfg, params)
+	case EngineMVSTM:
+		return proposeMV(parent, parentHeader, pool, cfg, params)
+	default:
+		return nil, fmt.Errorf("core: unknown proposer engine %q (want %q or %q)", cfg.Engine, EngineOCCWSI, EngineMVSTM)
+	}
+}
+
+// proposeOCC packs a block using OCC-WSI parallel execution (paper
+// Algorithm 1). Worker threads claim transactions by gas price in small
+// batches, execute them against versioned snapshots, and commit through the
+// (striped) reserve-table validation; conflicted transactions return to the
+// pool. The block's transaction order is the commit (serialization) order,
+// and the block profile carries each transaction's read/write sets.
 //
 // Idle workers block on a condition variable instead of spinning: the pool
 // signals whenever a transaction becomes executable (Add, Requeue, or a
 // nonce promotion), and the worker that retires the last in-flight
 // transaction broadcasts so everyone observes the drained pool and exits.
-func Propose(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.Pool,
+func proposeOCC(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.Pool,
 	cfg ProposerConfig, params chain.Params) (*ProposeResult, error) {
 
 	if cfg.Threads < 1 {

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockpilot/internal/chain"
+	"blockpilot/internal/flight"
+	"blockpilot/internal/mempool"
+	"blockpilot/internal/mv"
+	"blockpilot/internal/state"
+	"blockpilot/internal/telemetry"
+	"blockpilot/internal/trace"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// Proposer engine identifiers (ProposerConfig.Engine, -engine flag).
+const (
+	// EngineOCCWSI is the paper's OCC-WSI engine (proposer.go): abort a
+	// conflicted transaction outright and re-execute it from the pool.
+	EngineOCCWSI = "occ-wsi"
+	// EngineMVSTM is the Block-STM-style engine (internal/mv): multi-version
+	// memory with ESTIMATE sentinels, read-set validation by transaction
+	// index, and dependency suspension instead of blind re-execution.
+	EngineMVSTM = "mv-stm"
+)
+
+// Engines lists the selectable proposer engines (flag help, benches).
+func Engines() []string { return []string{EngineOCCWSI, EngineMVSTM} }
+
+// mvRoundCap bounds how many transactions one claim round may pull from the
+// pool; a round is otherwise sized by the remaining gas estimate.
+const mvRoundCap = 512
+
+// mvClaimBatch is the PopBatch size used while claiming a round.
+const mvClaimBatch = 64
+
+// mvLane is the flight-recorder lane for MV-STM claim/finalize events,
+// which happen on the orchestrating goroutine rather than a worker.
+const mvLane = 0
+
+// mvTxOut is the per-transaction payload the MV executor hands back through
+// the instance: the receipt/fee/profile of a successful execution, or the
+// validity error of a no-op one.
+type mvTxOut struct {
+	receipt *types.Receipt
+	fee     *uint256.Int
+	profile *types.TxProfile
+	err     error
+}
+
+// mvSealOrderHook, when set (tests only), observes the claimed transaction
+// list and the sealed block order after every MV propose — the engine-parity
+// suite asserts the block preserves the claimed index order.
+var mvSealOrderHook func(claimed, sealed []*types.Transaction)
+
+// mvWindowHint carries the MV-STM speculation window across blocks (stored
+// as window+1; 0 means no hint yet, so the first block starts fully
+// speculative). Contention is a property of the traffic, not of one block:
+// a hotspot that collapsed the window stays collapsed into the next block
+// instead of re-paying the discovery burst — re-executions — per block.
+// Process-global is fine: a node runs one proposer.
+var mvWindowHint atomic.Int64
+
+// ResetMVWindowHint forgets the carried speculation window. Benchmarks call
+// it between sweep points so each (workload, engine, threads) measurement
+// starts from the same fully-speculative state.
+func ResetMVWindowHint() { mvWindowHint.Store(0) }
+
+// proposeMV packs a block with the MV-STM engine. Transactions are claimed
+// from the pool in rounds (PopBatch yields at most one transaction per
+// sender per round, so same-sender nonce chains always occupy ascending
+// indices); each round runs to quiescence on the Block-STM scheduler before
+// the next is claimed, so every earlier index is fully validated — ESTIMATE
+// dependencies never cross rounds and the multi-version chains only grow.
+// Finalization walks the claimed order: validity failures are requeued or
+// dropped exactly like OCC-WSI aborts, and the first transaction that
+// overflows the gas limit cuts the block — it and every higher index are
+// purged from the multi-version memory (highest first, so no survivor read
+// a purged value) and returned to the pool. The seal tail — flatten,
+// finalization credit, CommitAndRoot, header roots, trace spans — is the
+// same as the OCC-WSI engine's, so validators, the flight recorder, and the
+// sim oracles cannot tell the engines apart.
+func proposeMV(parent *state.Snapshot, parentHeader *types.Header, pool *mempool.Pool,
+	cfg ProposerConfig, params chain.Params) (*ProposeResult, error) {
+
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	header := &types.Header{
+		ParentHash: parentHeader.Hash(),
+		Number:     parentHeader.Number + 1,
+		Coinbase:   cfg.Coinbase,
+		GasLimit:   params.GasLimit,
+		Time:       cfg.Time,
+	}
+	span := telemetry.StartSpan("proposer.propose", header.Number, telemetry.ProposerBlockSeconds)
+	defer span.End()
+	tr := trace.Resolve(cfg.Tracer)
+	node := cfg.Node
+	if node == "" {
+		node = "proposer"
+	}
+	var sealStart, scStart, scEnd time.Time
+	if tr != nil {
+		sealStart = time.Now()
+	}
+	bc := chain.BlockContextFor(header, params.ChainID)
+	height := header.Number
+
+	var claimed []*types.Transaction
+	inst := mv.NewInstance(parent, func(idx, worker int, view state.Reader) mv.ExecResult {
+		tx := claimed[idx]
+		flight.ExecStart(worker, tx, height)
+		defer flight.ExecEnd(worker, tx, height)
+		overlay := state.NewOverlay(view, types.Version(idx+1))
+		receipt, fee, err := chain.ApplyTransaction(overlay, tx, bc)
+		if err != nil {
+			// Validity checks precede the first overlay write, so a failed
+			// transaction is a pure no-op: keep its read set (a later write
+			// can revalidate it into existence) but record no change set.
+			return mv.ExecResult{Data: &mvTxOut{err: err}}
+		}
+		return mv.ExecResult{
+			Writes: overlay.ChangeSet(),
+			Data: &mvTxOut{
+				receipt: receipt,
+				fee:     fee,
+				profile: types.ProfileFromAccessSet(overlay.Access(), receipt.GasUsed),
+			},
+		}
+	})
+	if cfg.MVFaultStaleReads {
+		inst.SetStaleReads(true)
+	}
+	if h := mvWindowHint.Load(); h > 0 {
+		inst.SetWindowHint(h - 1)
+	}
+
+	var (
+		committed    []committedTx
+		fees         uint256.Int
+		gasUsed      uint64
+		dropped      atomic.Int64
+		droppedRetry atomic.Int64
+		retries      sync.Map
+	)
+	gasFull := false
+	for !gasFull {
+		// Claim one round, bounded by the optimistic gas estimate (sum of
+		// gas limits): enough to fill the block, never unboundedly more.
+		var round []*types.Transaction
+		est := gasUsed
+		for est < params.GasLimit && len(round) < mvRoundCap {
+			n := mvClaimBatch
+			if len(round)+n > mvRoundCap {
+				n = mvRoundCap - len(round)
+			}
+			got := pool.PopBatch(n)
+			if len(got) == 0 {
+				break
+			}
+			for _, tx := range got {
+				flight.Pop(mvLane, tx, height)
+				est += tx.Gas
+			}
+			round = append(round, got...)
+		}
+		if len(round) == 0 {
+			break
+		}
+		lo := len(claimed)
+		claimed = append(claimed, round...)
+		inst.Run(len(round), cfg.Threads)
+
+		// Finalize the round in claimed (index) order.
+		cut := -1
+		for rel := range round {
+			idx := lo + rel
+			out := inst.Data(idx).(*mvTxOut)
+			if out.err != nil {
+				switch {
+				case errors.Is(out.err, chain.ErrNonceTooHigh):
+					// An earlier-nonce tx was dropped or cut after this one
+					// queued behind it: retry once the chain settles.
+					requeueOrDrop(mvLane, pool, claimed[idx], &retries, cfg.MaxRetries, height, &dropped, &droppedRetry)
+				default:
+					pool.Done(claimed[idx])
+					dropped.Add(1)
+					telemetry.ProposerDrops.Inc()
+					flight.Drop(mvLane, claimed[idx], height, false)
+				}
+				continue
+			}
+			if gasUsed+out.receipt.GasUsed > params.GasLimit {
+				// Cut here: idx and everything above may have been read by
+				// nothing below it, so the whole tail is evicted together.
+				cut = idx
+				gasFull = true
+				break
+			}
+			gasUsed += out.receipt.GasUsed
+			fees.Add(&fees, out.fee)
+			committed = append(committed, committedTx{
+				version: types.Version(idx + 1),
+				tx:      claimed[idx],
+				receipt: out.receipt,
+				profile: out.profile,
+			})
+			pool.Done(claimed[idx])
+			telemetry.ProposerCommits.Inc()
+			flight.Commit(mvLane, claimed[idx], types.Version(idx+1), height)
+		}
+		if cut >= 0 {
+			for idx := len(claimed) - 1; idx >= cut; idx-- {
+				inst.Purge(idx)
+			}
+			for idx := cut; idx < len(claimed); idx++ {
+				// Leave the tail for the next block (OCC does the same on a
+				// filled block), valid or not — the pool re-sorts it.
+				flight.Requeue(mvLane, claimed[idx], height)
+				pool.Requeue(claimed[idx])
+				telemetry.ProposerRetries.Inc()
+			}
+		}
+	}
+
+	if w := inst.WindowHint(); w >= 0 {
+		mvWindowHint.Store(w + 1)
+	}
+
+	stats := inst.Stats()
+	telemetry.MVReexecutions.Add(stats.Reexecutions)
+	telemetry.MVEstimateHits.Add(stats.EstimateHits)
+	telemetry.MVValidationFails.Add(stats.ValidationFails)
+
+	// Assemble the block in index order (committed is already sorted: the
+	// finalize walk appends ascending).
+	txs := make([]*types.Transaction, len(committed))
+	receipts := make([]*types.Receipt, len(committed))
+	profile := &types.BlockProfile{Txs: make([]*types.TxProfile, len(committed))}
+	var cumulative uint64
+	for i, c := range committed {
+		txs[i] = c.tx
+		cumulative += c.receipt.GasUsed
+		c.receipt.CumulativeGasUsed = cumulative
+		receipts[i] = c.receipt
+		profile.Txs[i] = c.profile
+		flight.Seal(c.tx, c.version, i, height)
+	}
+
+	// Finalize: aggregate fee + reward credit to the coinbase, then commit —
+	// the exact seal tail of the OCC-WSI engine.
+	total := inst.Flatten()
+	accum := state.NewMemory(parent)
+	accum.ApplyChangeSet(total)
+	total.Merge(chain.FinalizationChange(accum, cfg.Coinbase, &fees, params))
+	if tr != nil {
+		scStart = time.Now()
+	}
+	postState, stateRoot := chain.CommitAndRoot(parent, total, params, height)
+	if tr != nil {
+		scEnd = time.Now()
+	}
+
+	telemetry.ProposerBlockTxs.Observe(uint64(len(committed)))
+	header.GasUsed = gasUsed
+	header.StateRoot = stateRoot
+	header.TxRoot = types.ComputeTxRoot(txs)
+	header.ReceiptRoot = types.ComputeReceiptRoot(receipts)
+	header.LogsBloom = types.CreateBloom(receipts)
+
+	blk := &types.Block{Header: *header, Txs: txs, Profile: profile}
+	if tr != nil {
+		bh := blk.Hash()
+		tr.RecordSpan(node, trace.StageStateCommit, bh, height, scStart, scEnd)
+		tr.RecordSpan(node, trace.StageSeal, bh, height, sealStart, time.Now())
+	}
+	if mvSealOrderHook != nil {
+		mvSealOrderHook(claimed, txs)
+	}
+
+	return &ProposeResult{
+		Block:        blk,
+		Receipts:     receipts,
+		State:        postState,
+		Fees:         fees,
+		GasUsed:      gasUsed,
+		Committed:    len(committed),
+		Aborts:       int(stats.Reexecutions),
+		Dropped:      int(dropped.Load()),
+		DroppedRetry: int(droppedRetry.Load()),
+	}, nil
+}

@@ -1,0 +1,295 @@
+package mv
+
+import (
+	"testing"
+
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// chainModel is the serial oracle for FuzzMVVersionChain: plain sorted-map
+// version chains with the same ESTIMATE / removal / per-path semantics the
+// striped Memory implements.
+type chainModel struct {
+	// key → tx → entry, one map per path kind.
+	scalar map[int]map[int]*modelEntry
+	code   map[int]map[int]*modelEntry
+	slot   map[[2]int]map[int]*modelEntry
+
+	writes map[int][]writeLoc
+	reads  map[int][]ReadRecord
+	inc    map[int]int
+}
+
+type modelEntry struct {
+	inc      int
+	estimate bool
+	val      uint64
+}
+
+func newChainModel() *chainModel {
+	return &chainModel{
+		scalar: map[int]map[int]*modelEntry{},
+		code:   map[int]map[int]*modelEntry{},
+		slot:   map[[2]int]map[int]*modelEntry{},
+		writes: map[int][]writeLoc{},
+		reads:  map[int][]ReadRecord{},
+		inc:    map[int]int{},
+	}
+}
+
+// resolve returns the newest entry below before for one (kind, addr, slot)
+// path, mirroring Memory.resolve*.
+func (cm *chainModel) resolve(kind readKind, addr, slot, before int) (tx int, e *modelEntry) {
+	var m map[int]*modelEntry
+	switch kind {
+	case readScalar:
+		m = cm.scalar[addr]
+	case readCode:
+		m = cm.code[addr]
+	default:
+		m = cm.slot[[2]int{addr, slot}]
+	}
+	tx = -1
+	for wtx, ent := range m {
+		if wtx < before && wtx > tx {
+			tx, e = wtx, ent
+		}
+	}
+	return tx, e
+}
+
+func (cm *chainModel) validate(tx int) bool {
+	for _, r := range cm.reads[tx] {
+		wtx, e := cm.resolve(r.Kind, int(r.Addr[0])-1, int(r.Slot[0])-1, tx)
+		if wtx < 0 {
+			if r.Tx != baseVersion {
+				return false
+			}
+			continue
+		}
+		if e.estimate || wtx != r.Tx || e.inc != r.Inc {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzMVVersionChain drives random interleaved writes, validation aborts
+// (ESTIMATE conversions), purges, reads and read-set validations through
+// Memory and the model in lockstep, failing on any divergence in
+// resolution, wrote-new-path reporting, or validation verdicts.
+func FuzzMVVersionChain(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 5, 1, 0, 4, 2, 2, 0})
+	f.Add([]byte{0, 0, 1, 0, 1, 3, 1, 0, 0, 4, 0, 0, 0, 2, 1, 3, 3, 0})
+	f.Add([]byte{0, 3, 7, 3, 3, 0, 0, 2, 6, 1, 2, 0, 2, 2, 0, 4, 1, 0, 3, 1, 5})
+	f.Add([]byte{0, 7, 3, 1, 7, 0, 0, 6, 1, 3, 6, 0, 0, 5, 2, 2, 5, 0, 4, 4, 4})
+
+	const (
+		maxTx    = 8
+		numAddrs = 4
+		numSlots = 3
+	)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base := &fakeBase{bal: map[types.Address]uint64{}, slot: map[slotKey]uint64{}}
+		for i := 0; i < numAddrs; i++ {
+			base.bal[addrOf(i)] = uint64(50 * (i + 1))
+		}
+		m := NewMemory(base)
+		m.grow(maxTx)
+		cm := newChainModel()
+		valCounter := uint64(1)
+
+		for pos := 0; pos+2 < len(data); pos += 3 {
+			op, a, b := data[pos]%5, int(data[pos+1]), int(data[pos+2])
+			tx := a % maxTx
+			addr := b % numAddrs
+			switch op {
+			case 0: // write: record a new incarnation of tx
+				inc := cm.inc[tx]
+				withCode := b&8 != 0
+				withSlot := b&16 != 0
+				slot := b % numSlots
+
+				// Read a couple of keys first, like an executor would —
+				// resolutions must agree between memory and model.
+				var recs []ReadRecord
+				rAddr := (addr + 1) % numAddrs
+				e, ok := m.resolveAcct(addrOf(rAddr), tx)
+				wtx, me := cm.resolve(readScalar, rAddr, 0, tx)
+				if ok != (wtx >= 0) {
+					t.Fatalf("scalar resolve divergence for addr %d before %d: mem=%v model=%v", rAddr, tx, ok, wtx >= 0)
+				}
+				if ok {
+					if e.tx != wtx || e.inc != me.inc || e.estimate != me.estimate || e.balance.Uint64() != me.val {
+						t.Fatalf("scalar resolve mismatch: mem {tx=%d inc=%d est=%v val=%d} model {tx=%d inc=%d est=%v val=%d}",
+							e.tx, e.inc, e.estimate, e.balance.Uint64(), wtx, me.inc, me.estimate, me.val)
+					}
+					if !e.estimate { // an executor would suspend on an estimate
+						recs = append(recs, ReadRecord{Addr: addrOf(rAddr), Kind: readScalar, Tx: e.tx, Inc: e.inc})
+					}
+				} else {
+					recs = append(recs, ReadRecord{Addr: addrOf(rAddr), Kind: readScalar, Tx: baseVersion})
+				}
+
+				// Build the change set.
+				val := valCounter
+				valCounter++
+				cs := state.NewChangeSet()
+				ch := &state.AccountChange{}
+				ch.Balance.SetUint64(val)
+				if withCode {
+					ch.Code, ch.CodeSet = []byte{byte(val)}, true
+				}
+				if withSlot {
+					ch.Storage = map[types.Hash]uint256.Int{}
+					var sv uint256.Int
+					sv.SetUint64(val + 1000)
+					ch.Storage[hashOf(slot)] = sv
+				}
+				cs.Accounts[addrOf(addr)] = ch
+
+				gotNew := m.Record(tx, inc, recs, cs)
+
+				// Model update.
+				var locs []writeLoc
+				locs = append(locs, writeLoc{addr: addrOf(addr), kind: readScalar})
+				if withCode {
+					locs = append(locs, writeLoc{addr: addrOf(addr), kind: readCode})
+				}
+				if withSlot {
+					locs = append(locs, writeLoc{addr: addrOf(addr), slot: hashOf(slot), kind: readSlot})
+				}
+				wantNew := false
+				for _, l := range locs {
+					if !containsLoc(cm.writes[tx], l) {
+						wantNew = true
+					}
+				}
+				if gotNew != wantNew {
+					t.Fatalf("wrote-new divergence for tx %d inc %d: mem=%v model=%v", tx, inc, gotNew, wantNew)
+				}
+				for _, l := range cm.writes[tx] {
+					if !containsLoc(locs, l) {
+						cm.removeLoc(tx, l)
+					}
+				}
+				if m := cm.scalar[addr]; m == nil {
+					cm.scalar[addr] = map[int]*modelEntry{}
+				}
+				cm.scalar[addr][tx] = &modelEntry{inc: inc, val: val}
+				if withCode {
+					if m := cm.code[addr]; m == nil {
+						cm.code[addr] = map[int]*modelEntry{}
+					}
+					cm.code[addr][tx] = &modelEntry{inc: inc, val: val}
+				} else {
+					delete(cm.code[addr], tx)
+				}
+				if withSlot {
+					k := [2]int{addr, slot}
+					if m := cm.slot[k]; m == nil {
+						cm.slot[k] = map[int]*modelEntry{}
+					}
+					cm.slot[k][tx] = &modelEntry{inc: inc, val: val + 1000}
+				}
+				cm.writes[tx] = locs
+				cm.reads[tx] = recs
+				cm.inc[tx] = inc + 1
+
+			case 1: // validation abort: convert writes to estimates
+				m.ConvertToEstimates(tx)
+				for _, l := range cm.writes[tx] {
+					cm.markEstimate(tx, l)
+				}
+
+			case 2: // purge (gas cut)
+				m.Purge(tx)
+				for _, l := range cm.writes[tx] {
+					cm.removeLoc(tx, l)
+				}
+				cm.writes[tx] = nil
+				cm.reads[tx] = nil
+
+			case 3: // read: compare one resolution
+				kind := readKind(b % 3)
+				slot := (b / 4) % numSlots
+				switch kind {
+				case readScalar:
+					e, ok := m.resolveAcct(addrOf(addr), tx)
+					wtx, me := cm.resolve(readScalar, addr, 0, tx)
+					if ok != (wtx >= 0) || (ok && (e.tx != wtx || e.estimate != me.estimate || e.balance.Uint64() != me.val)) {
+						t.Fatalf("scalar read divergence addr %d before %d", addr, tx)
+					}
+				case readCode:
+					e, ok := m.resolveCode(addrOf(addr), tx)
+					wtx, me := cm.resolve(readCode, addr, 0, tx)
+					if ok != (wtx >= 0) || (ok && (e.tx != wtx || e.estimate != me.estimate || e.code[0] != byte(me.val))) {
+						t.Fatalf("code read divergence addr %d before %d", addr, tx)
+					}
+				default:
+					e, ok := m.resolveSlot(addrOf(addr), hashOf(slot), tx)
+					wtx, me := cm.resolve(readSlot, addr, slot, tx)
+					if ok != (wtx >= 0) || (ok && (e.tx != wtx || e.estimate != me.estimate || e.value.Uint64() != me.val)) {
+						t.Fatalf("slot read divergence addr %d slot %d before %d", addr, slot, tx)
+					}
+				}
+
+			case 4: // validate a read set
+				got := m.ValidateReadSet(tx)
+				want := cm.validate(tx)
+				if got != want {
+					t.Fatalf("validation divergence for tx %d: mem=%v model=%v", tx, got, want)
+				}
+			}
+		}
+
+		// Final sweep: every path resolution and every read set must agree.
+		for addr := 0; addr < numAddrs; addr++ {
+			e, ok := m.resolveAcct(addrOf(addr), maxTx)
+			wtx, me := cm.resolve(readScalar, addr, 0, maxTx)
+			if ok != (wtx >= 0) || (ok && (e.tx != wtx || e.balance.Uint64() != me.val)) {
+				t.Fatalf("final scalar divergence addr %d", addr)
+			}
+		}
+		for tx := 0; tx < maxTx; tx++ {
+			if m.ValidateReadSet(tx) != cm.validate(tx) {
+				t.Fatalf("final validation divergence tx %d", tx)
+			}
+		}
+	})
+}
+
+func (cm *chainModel) markEstimate(tx int, l writeLoc) {
+	addr := int(l.addr[0]) - 1
+	switch l.kind {
+	case readScalar:
+		if e := cm.scalar[addr][tx]; e != nil {
+			e.estimate = true
+		}
+	case readCode:
+		if e := cm.code[addr][tx]; e != nil {
+			e.estimate = true
+		}
+	case readSlot:
+		slot := int(l.slot[0]) - 1
+		if e := cm.slot[[2]int{addr, slot}][tx]; e != nil {
+			e.estimate = true
+		}
+	}
+}
+
+func (cm *chainModel) removeLoc(tx int, l writeLoc) {
+	addr := int(l.addr[0]) - 1
+	switch l.kind {
+	case readScalar:
+		delete(cm.scalar[addr], tx)
+		delete(cm.code[addr], tx) // the entry carries the code path too
+	case readCode:
+		delete(cm.code[addr], tx)
+	case readSlot:
+		delete(cm.slot[[2]int{addr, int(l.slot[0]) - 1}], tx)
+	}
+}

@@ -1,0 +1,167 @@
+package mv
+
+import (
+	"blockpilot/internal/crypto"
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// depError is the panic payload a view throws when a read lands on an
+// ESTIMATE: the executing transaction suspends on the blocking index. The
+// instance recovers it at the execution boundary (no recover() exists
+// anywhere between the EVM and the executor, so the unwind is clean).
+type depError struct{ blocking int }
+
+// view is the state.Reader one incarnation of one transaction executes
+// against. Every read resolves through the multi-version chains exactly
+// once per (key, path) and is cached for the rest of the incarnation — the
+// Overlay on top loads an account's existence, nonce and balance as three
+// separate base calls, and a torn resolution across a concurrent re-record
+// would hand the EVM an inconsistent account. The cache also is the read
+// set: one ReadRecord per resolution, with the version observed.
+type view struct {
+	m   *Memory
+	idx int
+
+	acct  map[types.Address]*viewAcct
+	slots map[slotKey]uint256.Int
+	recs  []ReadRecord
+}
+
+type viewAcct struct {
+	scalarDone bool
+	chainAcct  bool // scalar resolved from a chain entry (account exists)
+	nonce      uint64
+	balance    uint256.Int
+	exists     bool
+
+	codeDone  bool
+	chainCode bool // code resolved from a chain entry
+	code      []byte
+	codeHash  types.Hash
+}
+
+func newView(m *Memory, idx int) *view {
+	return &view{
+		m:     m,
+		idx:   idx,
+		acct:  make(map[types.Address]*viewAcct),
+		slots: make(map[slotKey]uint256.Int),
+	}
+}
+
+// resolveScalar materializes the account's scalar fields, recording the
+// read on first resolution.
+func (v *view) resolveScalar(addr types.Address) *viewAcct {
+	va := v.acct[addr]
+	if va == nil {
+		va = &viewAcct{}
+		v.acct[addr] = va
+	}
+	if va.scalarDone {
+		return va
+	}
+	if !v.m.stale {
+		if e, ok := v.m.resolveAcct(addr, v.idx); ok {
+			if e.estimate {
+				panic(depError{blocking: e.tx})
+			}
+			va.nonce, va.balance, va.exists = e.nonce, e.balance, true
+			va.chainAcct = true
+			va.scalarDone = true
+			v.recs = append(v.recs, ReadRecord{Addr: addr, Kind: readScalar, Tx: e.tx, Inc: e.inc})
+			return va
+		}
+	}
+	if v.m.base.Exists(addr) {
+		va.nonce = v.m.base.Nonce(addr)
+		va.balance = v.m.base.Balance(addr)
+		va.exists = true
+	}
+	va.scalarDone = true
+	v.recs = append(v.recs, ReadRecord{Addr: addr, Kind: readScalar, Tx: baseVersion})
+	return va
+}
+
+// resolveCode materializes the account's code path, recording the read on
+// first resolution.
+func (v *view) resolveCode(addr types.Address) *viewAcct {
+	va := v.acct[addr]
+	if va == nil {
+		va = &viewAcct{}
+		v.acct[addr] = va
+	}
+	if va.codeDone {
+		return va
+	}
+	if !v.m.stale {
+		if e, ok := v.m.resolveCode(addr, v.idx); ok {
+			if e.estimate {
+				panic(depError{blocking: e.tx})
+			}
+			va.code = e.code
+			va.codeHash = types.Hash(crypto.Sum256(e.code))
+			va.chainCode = true
+			va.codeDone = true
+			v.recs = append(v.recs, ReadRecord{Addr: addr, Kind: readCode, Tx: e.tx, Inc: e.inc})
+			return va
+		}
+	}
+	va.code = v.m.base.Code(addr)
+	va.codeHash = v.m.base.CodeHash(addr)
+	va.codeDone = true
+	v.recs = append(v.recs, ReadRecord{Addr: addr, Kind: readCode, Tx: baseVersion})
+	return va
+}
+
+// Nonce implements state.Reader.
+func (v *view) Nonce(addr types.Address) uint64 { return v.resolveScalar(addr).nonce }
+
+// Balance implements state.Reader.
+func (v *view) Balance(addr types.Address) uint256.Int { return v.resolveScalar(addr).balance }
+
+// Exists implements state.Reader.
+func (v *view) Exists(addr types.Address) bool { return v.resolveScalar(addr).exists }
+
+// Code implements state.Reader.
+func (v *view) Code(addr types.Address) []byte { return v.resolveCode(addr).code }
+
+// CodeHash implements state.Reader. Mirrors the OCC mvView: an account
+// created by an earlier in-block transaction without code reports
+// EmptyCodeHash, everything else falls through.
+func (v *view) CodeHash(addr types.Address) types.Hash {
+	va := v.resolveCode(addr)
+	if va.chainCode {
+		return va.codeHash
+	}
+	sa := v.resolveScalar(addr)
+	if sa.chainAcct && va.codeHash == (types.Hash{}) {
+		return state.EmptyCodeHash
+	}
+	return va.codeHash
+}
+
+// Storage implements state.Reader.
+func (v *view) Storage(addr types.Address, slot types.Hash) uint256.Int {
+	sk := slotKey{addr: addr, slot: slot}
+	if val, ok := v.slots[sk]; ok {
+		return val
+	}
+	var val uint256.Int
+	if !v.m.stale {
+		if e, ok := v.m.resolveSlot(addr, slot, v.idx); ok {
+			if e.estimate {
+				panic(depError{blocking: e.tx})
+			}
+			val = e.value
+			v.slots[sk] = val
+			v.recs = append(v.recs, ReadRecord{Addr: addr, Slot: slot, Kind: readSlot, Tx: e.tx, Inc: e.inc})
+			return val
+		}
+	}
+	val = v.m.base.Storage(addr, slot)
+	v.slots[sk] = val
+	v.recs = append(v.recs, ReadRecord{Addr: addr, Slot: slot, Kind: readSlot, Tx: baseVersion})
+	return val
+}

@@ -37,7 +37,11 @@ type MutationCheck struct {
 //     merged blindly) must be caught by the serializability oracle;
 //   - tamper-accepted: a validator with the profile check disabled accepts
 //     an additively profile-tampered block (execution is unchanged, so the
-//     root matches) — the corruption oracle must flag the commitment.
+//     root matches) — the corruption oracle must flag the commitment;
+//   - mv-stale-reads: an MV-STM proposer whose multi-version resolution and
+//     read-set validation are disabled (ProposerConfig.MVFaultStaleReads)
+//     commits conflicting transactions that all read the parent snapshot —
+//     the serializability oracle must see a root no serial order produces.
 func SelfCheck(cfg Config) []MutationCheck {
 	cfg.Normalize()
 	fixture, err := mutationFixture(cfg.Seed)
@@ -48,11 +52,13 @@ func SelfCheck(cfg Config) []MutationCheck {
 		checkBadDependencyGraph(fixture),
 		checkSkippedWSI(fixture),
 		checkTamperAccepted(fixture),
+		checkMVStaleReads(fixture),
 	}
 }
 
 // mutFixture is one proposed conflict-heavy block plus its parent state.
 type mutFixture struct {
+	seed    int64
 	genesis *state.Snapshot
 	gHeader *types.Header
 	block   *types.Block
@@ -63,18 +69,7 @@ type mutFixture struct {
 // workload (half the block swaps against two AMM pairs), so any execution
 // that breaks the serialization order diverges in state, not just in gas.
 func mutationFixture(seed int64) (*mutFixture, error) {
-	wcfg := workload.Default()
-	wcfg.NumAccounts = 60
-	wcfg.TxPerBlock = 24
-	wcfg.NumTokens = 3
-	wcfg.NumPairs = 2
-	wcfg.NumMixers = 2
-	wcfg.NativeRatio = 0.15
-	wcfg.SwapRatio = 0.55 // hotspot pressure: swaps on one pair all conflict
-	wcfg.MixerRatio = 0.05
-	wcfg.SpinMin, wcfg.SpinMax = 20, 80
-	wcfg.Source = rand.NewSource(seed)
-	g := workload.New(wcfg)
+	g := mutationWorkload(seed) // hotspot pressure: swaps on one pair all conflict
 	genesis := g.GenesisState()
 	params := chain.DefaultParams()
 	c := chain.NewChain(genesis, params)
@@ -87,7 +82,24 @@ func mutationFixture(seed int64) (*mutFixture, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: mutation fixture propose: %w", err)
 	}
-	return &mutFixture{genesis: genesis, gHeader: &c.Genesis().Header, block: res.Block, params: params}, nil
+	return &mutFixture{seed: seed, genesis: genesis, gHeader: &c.Genesis().Header, block: res.Block, params: params}, nil
+}
+
+// mutationWorkload rebuilds the fixture's conflict-heavy generator (same
+// seed, same mix) for checks that need to propose their own block.
+func mutationWorkload(seed int64) *workload.Generator {
+	wcfg := workload.Default()
+	wcfg.NumAccounts = 60
+	wcfg.TxPerBlock = 24
+	wcfg.NumTokens = 3
+	wcfg.NumPairs = 2
+	wcfg.NumMixers = 2
+	wcfg.NativeRatio = 0.15
+	wcfg.SwapRatio = 0.55
+	wcfg.MixerRatio = 0.05
+	wcfg.SpinMin, wcfg.SpinMax = 20, 80
+	wcfg.Source = rand.NewSource(seed)
+	return workload.New(wcfg)
 }
 
 // checkBadDependencyGraph executes the block's transactions in reverse
@@ -178,6 +190,46 @@ func checkTamperAccepted(f *mutFixture) MutationCheck {
 		// failure — fires on exactly this record.
 		m.Caught = true
 		m.Detail = "buggy validator committed the tampered block; corruption oracle flags the nil-error outcome"
+	}
+	return m
+}
+
+// checkMVStaleReads breaks the MV-STM engine on purpose: with
+// ProposerConfig.MVFaultStaleReads every read resolves from the parent
+// snapshot and read-set validation passes vacuously — Block-STM with its
+// conflict detection ripped out. On the conflict-heavy fixture workload the
+// committed root must then differ from a serial execution of the sealed
+// transactions, which is exactly what the serializability oracle compares.
+func checkMVStaleReads(f *mutFixture) MutationCheck {
+	m := MutationCheck{Name: "mv-stale-reads"}
+	g := mutationWorkload(f.seed)
+	genesis := g.GenesisState()
+	pool := mempool.New()
+	pool.AddAll(g.NextBlockTxs())
+	res, err := core.Propose(genesis, f.gHeader, pool, core.ProposerConfig{
+		Engine:            core.EngineMVSTM,
+		MVFaultStaleReads: true,
+		Threads:           4, Coinbase: proposerCoinbase, Time: 1,
+	}, f.params)
+	if err != nil {
+		m.Detail = fmt.Sprintf("faulty propose failed outright: %v", err)
+		return m
+	}
+	if res.Committed < 2 {
+		m.Detail = "faulty proposer committed too few txs to conflict"
+		return m
+	}
+	serial, err := chain.ExecuteSerial(genesis, &res.Block.Header, res.Block.Txs, f.params)
+	switch {
+	case err != nil:
+		m.Caught = true
+		m.Detail = fmt.Sprintf("serial replay of the stale-read block faults: %v", err)
+	case serial.State.Root() != res.Block.Header.StateRoot:
+		m.Caught = true
+		m.Detail = fmt.Sprintf("stale-read root %s != serial root %s (%d txs committed)",
+			res.Block.Header.StateRoot, serial.State.Root(), res.Committed)
+	default:
+		m.Detail = "disabling MV validation still produced the serializable root — oracle blind to stale reads"
 	}
 	return m
 }

@@ -48,14 +48,14 @@ func (r *Report) OK() bool {
 
 // ReproLine is the command that replays this exact run.
 func (r *Report) ReproLine() string {
-	return fmt.Sprintf("bpbench -exp sim -scenario %s -seed %d", r.Cfg.Scenario, r.Cfg.Seed)
+	return fmt.Sprintf("bpbench -exp sim -scenario %s -seed %d -engine %s", r.Cfg.Scenario, r.Cfg.Seed, r.Cfg.Engine)
 }
 
 // Render formats the report for the CLI.
 func (r *Report) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sim scenario=%s seed=%d heights=%d validators=%d\n",
-		r.Cfg.Scenario, r.Cfg.Seed, r.Cfg.Heights, r.Cfg.Validators)
+	fmt.Fprintf(&b, "sim scenario=%s seed=%d engine=%s heights=%d validators=%d\n",
+		r.Cfg.Scenario, r.Cfg.Seed, r.Cfg.Engine, r.Cfg.Heights, r.Cfg.Validators)
 	fmt.Fprintf(&b, "  blocks: %d canonical, %d fork, %d tampered copies\n",
 		r.Stats.CanonicalBlocks, r.Stats.ForkBlocks, r.Stats.TamperedCopies)
 	fmt.Fprintf(&b, "  txs: %d generated, %d committed, %d pending, %d dropped\n",

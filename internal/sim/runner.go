@@ -312,6 +312,7 @@ func (r *runner) drive(pnode *network.Node, genesis *state.Snapshot) error {
 		r.txGenerated += len(txs)
 		r.pool.AddAll(txs)
 		res, err := core.Propose(tip.st, tip.header, r.pool, core.ProposerConfig{
+			Engine:  cfg.Engine,
 			Threads: cfg.ProposerThreads, Coinbase: proposerCoinbase, Time: uint64(h),
 			Node: "proposer", Tracer: r.tracer,
 		}, r.params)

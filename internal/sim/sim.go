@@ -29,6 +29,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"blockpilot/internal/core"
 )
 
 // Config parameterizes one simulator run. The zero value is not runnable;
@@ -36,6 +38,11 @@ import (
 type Config struct {
 	Seed     int64
 	Scenario string
+
+	// Engine selects the proposer's parallel execution backend for the
+	// canonical stream ("occ-wsi" or "mv-stm"); the oracles are engine-blind,
+	// so every scenario must hold under both. Part of the repro line.
+	Engine string
 
 	Heights          int // canonical blocks proposed
 	Validators       int // validator node count
@@ -108,6 +115,9 @@ func (c *Config) Normalize() {
 	}
 	if c.Scenario == "" {
 		c.Scenario = "custom"
+	}
+	if c.Engine == "" {
+		c.Engine = core.EngineOCCWSI
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"blockpilot/internal/core"
 	"blockpilot/internal/validator"
 )
 
@@ -39,6 +40,60 @@ func TestScenarioMatrix(t *testing.T) {
 				run(t, scenario, seed)
 			}
 		})
+	}
+}
+
+// TestScenarioMatrixMVSTM repeats the full scenario matrix with the MV-STM
+// proposer engine: the oracles are engine-blind, so every fault scenario
+// must hold with Block-STM packing the canonical stream too.
+func TestScenarioMatrixMVSTM(t *testing.T) {
+	seeds := []int64{1, 2, 7, 42}
+	for _, scenario := range Scenarios() {
+		scenario := scenario
+		t.Run(scenario, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				cfg, err := Preset(scenario, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Engine = core.EngineMVSTM
+				cfg.Dir = t.TempDir()
+				rep, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("scenario %s seed %d engine mv-stm: %v", scenario, seed, err)
+				}
+				if len(rep.Problems) > 0 {
+					t.Fatalf("scenario %s seed %d engine mv-stm: %d oracle failures (repro: %s)\n%s",
+						scenario, seed, len(rep.Problems), rep.ReproLine(), rep.Render())
+				}
+			}
+		})
+	}
+}
+
+// TestMVDigestDeterminism: with the deterministic MV-STM claim order the
+// whole run digest must be reproducible even at several worker threads.
+func TestMVDigestDeterminism(t *testing.T) {
+	mk := func() string {
+		cfg, err := Preset("baseline", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Engine = core.EngineMVSTM
+		cfg.ProposerThreads = 4
+		cfg.Dir = t.TempDir()
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Problems) > 0 {
+			t.Fatalf("oracle failures:\n%s", rep.Render())
+		}
+		return rep.Digest
+	}
+	if mk() != mk() {
+		t.Fatal("mv-stm run digest not deterministic at 4 threads")
 	}
 }
 

@@ -27,6 +27,17 @@ var (
 		"Transactions dropped specifically because their abort-retry budget ran out.")
 )
 
+// Proposer MV-STM engine (internal/mv), the Block-STM-style alternative
+// behind ProposerConfig.Engine = "mv-stm".
+var (
+	MVReexecutions = NewCounter("blockpilot_mv_reexecutions_total",
+		"MV-STM incarnations executed beyond each transaction's first (wasted speculative work).")
+	MVEstimateHits = NewCounter("blockpilot_mv_estimate_hits_total",
+		"MV-STM reads that landed on an ESTIMATE sentinel and suspended on the writing transaction.")
+	MVValidationFails = NewCounter("blockpilot_mv_validation_fails_total",
+		"MV-STM validation aborts: read sets invalidated by a lower transaction's write.")
+)
+
 // Flight recorder (conflict attribution, internal/flight). Pushed by
 // Recorder.Attribution whenever a hot-key report is computed.
 var (
