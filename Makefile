@@ -1,8 +1,9 @@
 # BlockPilot CI entry points. `make ci` is what the tier-1 gate runs:
 # vet + build + full test suite + race detector on the concurrency-heavy
 # packages (OCC-WSI core, MV-STM engine, mempool, pipeline, network, sim,
-# telemetry, flight recorder) + the flight-recorder and block-tracer
-# disabled-path budget gates
+# telemetry, flight recorder, health recorder) + the flight-recorder,
+# block-tracer and health-recorder disabled-path budget gates + a live
+# health-sampler smoke (health-smoke)
 # + a short-mode smoke of the contention benchmark suite + the
 # cluster-simulator scenario matrix with its mutation self-check and span-chain
 # oracle (sim-smoke) + a short corpus pass over the fuzz targets (fuzz-smoke).
@@ -24,11 +25,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race race-all flight-budget trace-budget bench-smoke sim-smoke fuzz-smoke bench bench-go bench-state bench-check telemetry-bench flight-bench trace-demo crit-demo clean
+.PHONY: all ci vet build test race race-all flight-budget trace-budget health-budget health-smoke bench-smoke sim-smoke fuzz-smoke bench bench-go bench-state bench-check telemetry-bench flight-bench trace-demo crit-demo health-demo clean
 
 all: ci
 
-ci: vet build test race flight-budget trace-budget bench-smoke sim-smoke fuzz-smoke
+ci: vet build test race flight-budget trace-budget health-budget health-smoke bench-smoke sim-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -40,7 +41,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/mv/... ./internal/mempool/... ./internal/pipeline/... ./internal/network/... ./internal/telemetry/... ./internal/flight/... ./internal/trace/... ./internal/trie/... ./internal/state/...
+	$(GO) test -race ./internal/core/... ./internal/mv/... ./internal/mempool/... ./internal/pipeline/... ./internal/network/... ./internal/telemetry/... ./internal/flight/... ./internal/trace/... ./internal/health/... ./internal/trie/... ./internal/state/...
 
 # Race detector over the *entire* module, cluster simulator included. Slower
 # than `race`; run before merging concurrency changes.
@@ -56,6 +57,18 @@ flight-budget:
 # tracing helper must stay one atomic load, 0 allocs, under the ns budget.
 trace-budget:
 	$(GO) test -run TestDisabledPathBudget -count=1 ./internal/trace/
+
+# The health recorder's zero-cost gate: with no recorder installed the
+# Heartbeat/Enabled/Active helpers must stay one atomic load, 0 allocs,
+# under the ns budget.
+health-budget:
+	$(GO) test -run TestDisabledPathBudget -count=1 ./internal/health/
+
+# Live end-to-end pass of the health recorder: a real sampler at a fast
+# interval over actual runtime metrics, heartbeats flowing through the
+# enabled path.
+health-smoke:
+	$(GO) test -short -count=1 -run TestHealthSmoke ./internal/health/
 
 # Short-mode pass over the contention + state-commit suites (every code
 # path, seconds of runtime, no artifact written) plus the MV-STM engine
@@ -134,6 +147,11 @@ trace-demo:
 crit-demo:
 	$(GO) run ./cmd/bpinspect crit -blocks 4 -threads 8
 	$(GO) run ./cmd/bpinspect crit -blocks 4 -threads 8 -swap-ratio 0.85 -pairs 3
+
+# Runtime-health walkthrough: sparkline time series + watchdog incident
+# history over a short local run (see docs/OBSERVABILITY.md).
+health-demo:
+	$(GO) run ./cmd/bpinspect health -blocks 4 -threads 8
 
 clean:
 	$(GO) clean ./...

@@ -51,6 +51,34 @@ type benchFile struct {
 	Engine            []point  `json:"engine"`
 	Points            []point  `json:"points"`
 	SpeedupAt4Workers *float64 `json:"speedup_at_4_workers"`
+	Env               *runEnv  `json:"env"`
+}
+
+// runEnv mirrors bench.RunEnv's drift-relevant fields.
+type runEnv struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// envDrift compares the recorded run environments. Drift is a warning, never
+// a regression: a Go upgrade or a core-count change explains a perf delta,
+// it doesn't excuse ignoring one.
+func envDrift(base, fresh *benchFile) []string {
+	if base.Env == nil || fresh.Env == nil {
+		return nil // pre-env baselines diff silently
+	}
+	var w []string
+	if base.Env.GoVersion != fresh.Env.GoVersion {
+		w = append(w, fmt.Sprintf("go_version %s → %s", base.Env.GoVersion, fresh.Env.GoVersion))
+	}
+	if base.Env.GoMaxProcs != fresh.Env.GoMaxProcs {
+		w = append(w, fmt.Sprintf("go_max_procs %d → %d", base.Env.GoMaxProcs, fresh.Env.GoMaxProcs))
+	}
+	if base.Env.NumCPU != fresh.Env.NumCPU {
+		w = append(w, fmt.Sprintf("num_cpu %d → %d", base.Env.NumCPU, fresh.Env.NumCPU))
+	}
+	return w
 }
 
 // headlines extracts the named headline metrics of one artifact.
@@ -133,6 +161,9 @@ func diff(basePath, freshPath string, threshold float64) (int, error) {
 
 	regressions := 0
 	fmt.Printf("%s (%s → %s):\n", baseKind, basePath, freshPath)
+	for _, w := range envDrift(base, fresh) {
+		fmt.Printf("  WARNING   environment drift: %s — deltas below may reflect the environment, not the code\n", w)
+	}
 	for _, name := range names {
 		old := baseH[name]
 		now, ok := freshH[name]

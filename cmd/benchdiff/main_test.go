@@ -165,6 +165,50 @@ func TestOldBaselineToleratesNewRows(t *testing.T) {
 	}
 }
 
+// TestEnvDrift: environment differences between baseline and fresh artifacts
+// are surfaced as warnings, never counted as regressions; baselines recorded
+// before env metadata existed stay silent.
+func TestEnvDrift(t *testing.T) {
+	withEnv := func(env string) *benchFile {
+		f, err := load(writeFile(t, "f.json", `{
+		  "mvstate": [{"workload": "uniform", "commits_per_sec": 400000}]`+env+`
+		}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	base := withEnv(`, "env": {"go_version": "go1.24.1", "go_max_procs": 8, "num_cpu": 8}`)
+	same := withEnv(`, "env": {"go_version": "go1.24.1", "go_max_procs": 8, "num_cpu": 8}`)
+	drifted := withEnv(`, "env": {"go_version": "go1.25.0", "go_max_procs": 4, "num_cpu": 8}`)
+	old := withEnv(``)
+
+	if w := envDrift(base, same); len(w) != 0 {
+		t.Fatalf("identical env flagged: %v", w)
+	}
+	if w := envDrift(base, drifted); len(w) != 2 {
+		t.Fatalf("want go_version + go_max_procs drift, got %v", w)
+	} else if w[0] != "go_version go1.24.1 → go1.25.0" {
+		t.Fatalf("drift message: %q", w[0])
+	}
+	if w := envDrift(old, base); w != nil {
+		t.Fatalf("pre-env baseline flagged: %v", w)
+	}
+
+	// Drift must not contribute to the regression count.
+	basePath := writeFile(t, "b.json", `{
+	  "mvstate": [{"workload": "uniform", "commits_per_sec": 400000}],
+	  "env": {"go_version": "go1.24.1", "go_max_procs": 8, "num_cpu": 8}
+	}`)
+	freshPath := writeFile(t, "d.json", `{
+	  "mvstate": [{"workload": "uniform", "commits_per_sec": 400000}],
+	  "env": {"go_version": "go1.25.0", "go_max_procs": 8, "num_cpu": 8}
+	}`)
+	if n, err := diff(basePath, freshPath, 0.15); err != nil || n != 0 {
+		t.Fatalf("drift counted as regression: n=%d err=%v", n, err)
+	}
+}
+
 // TestCommittedBaselinesParse: the repo's own BENCH_*.json artifacts must
 // stay recognizable to the gate (a shape drift here would make bench-check
 // vacuous).

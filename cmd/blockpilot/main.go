@@ -33,6 +33,7 @@ import (
 	"blockpilot/internal/consensus"
 	"blockpilot/internal/core"
 	"blockpilot/internal/flight"
+	"blockpilot/internal/health"
 	"blockpilot/internal/mempool"
 	"blockpilot/internal/network"
 	"blockpilot/internal/pipeline"
@@ -70,6 +71,10 @@ func main() {
 	flightRing := flag.Int("flight-ring", 0, "flight recorder ring capacity per worker lane (0 = default)")
 	traceOn := flag.Bool("trace", false, "enable the block lifecycle tracer (cross-node spans, critical paths, stall attribution)")
 	traceRing := flag.Int("trace-ring", 0, "block tracer span ring capacity (0 = default)")
+	healthOn := flag.Bool("health", false, "enable the runtime health recorder (continuous sampling, stall watchdog, incident bundles)")
+	healthInterval := flag.Duration("health-interval", 250*time.Millisecond, "health sampler interval")
+	healthOut := flag.String("health-out", "", "append health samples as JSONL to this path (implies -health)")
+	healthIncidents := flag.String("health-incidents", "", "write watchdog incident bundles under this directory (implies -health)")
 	commitWorkers := flag.Int("commit-workers", 0, "state commit & root hashing workers at every seal/verify site (0 = auto, 1 = serial ablation)")
 	flag.Parse()
 
@@ -88,6 +93,30 @@ func main() {
 		trace.Enable(*traceRing)
 		fmt.Println("block tracer: enabled")
 	}
+	if *healthOut != "" || *healthIncidents != "" {
+		*healthOn = true
+	}
+	var healthFile *os.File
+	if *healthOn {
+		opts := health.Options{Interval: *healthInterval, IncidentDir: *healthIncidents}
+		if opts.IncidentDir == "" {
+			opts.IncidentDir = filepath.Join(os.TempDir(), "blockpilot-incidents")
+		}
+		if *healthOut != "" {
+			f, err := os.Create(*healthOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "blockpilot: health-out:", err)
+				os.Exit(1)
+			}
+			healthFile = f
+			opts.Out = f
+		}
+		if _, err := health.Enable(opts); err != nil {
+			fmt.Fprintln(os.Stderr, "blockpilot: health:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("health recorder: enabled (interval %v, incidents under %s)\n", *healthInterval, opts.IncidentDir)
+	}
 
 	if *telemetryAddr != "" {
 		srv, errc := telemetry.ServeContext(ctx, *telemetryAddr, nil)
@@ -97,7 +126,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "blockpilot: telemetry server:", err)
 			}
 		}()
-		fmt.Printf("telemetry: serving http://%s/metrics (+ /healthz, /metrics.json, /trace, /trace/blocks, /trace/critical-path, /report, /flight/*, /debug/pprof)\n", *telemetryAddr)
+		fmt.Printf("telemetry: serving http://%s/metrics (+ /healthz, /metrics.json, /trace, /trace/blocks, /trace/critical-path, /report, /flight/*, /health/*, /debug/pprof)\n", *telemetryAddr)
 	}
 
 	var store *blockdb.Store
@@ -308,6 +337,20 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("flight recorder: wrote %s (open at https://ui.perfetto.dev)\n", *flightOut)
+		}
+	}
+	if rec := health.Active(); rec != nil {
+		incidents, dropped := rec.Incidents()
+		fmt.Printf("health recorder: %d samples, %d incident(s)\n", len(rec.Series()), len(incidents))
+		for _, inc := range incidents {
+			fmt.Printf("  incident #%d %s: %s → %s\n", inc.Seq, inc.Rule, inc.Detail, inc.BundleDir)
+		}
+		if dropped > 0 {
+			fmt.Printf("  (%d incident(s) dropped past the cap)\n", dropped)
+		}
+		health.Disable() // final poll + JSONL flush
+		if healthFile != nil {
+			healthFile.Close()
 		}
 	}
 	for _, n := range nodes {

@@ -26,11 +26,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"blockpilot/internal/bench"
 	"blockpilot/internal/core"
+	"blockpilot/internal/health"
 	"blockpilot/internal/sim"
 	"blockpilot/internal/telemetry"
 	"blockpilot/internal/trace"
@@ -54,11 +57,33 @@ func main() {
 	simValidators := flag.Int("sim-validators", 0, "sim: validator nodes per run (0 = scenario default)")
 	simMutation := flag.Bool("sim-mutation", true, "sim: also run the seeded-bug mutation self-check")
 	traceOn := flag.Bool("trace", false, "enable the block lifecycle tracer and print a critical-path/stall summary after the run")
+	healthOn := flag.Bool("health", false, "enable the runtime health recorder during the run (peaks land in BENCH_*.json env metadata)")
+	healthInterval := flag.Duration("health-interval", 250*time.Millisecond, "health sampler interval")
+	healthOut := flag.String("health-out", "", "append health samples as JSONL to this path (implies -health)")
 	flag.Parse()
 
 	telemetry.Enable()
 	if *traceOn {
 		trace.Enable(0)
+	}
+	if *healthOut != "" {
+		*healthOn = true
+	}
+	var healthFile *os.File
+	if *healthOn {
+		opts := health.Options{
+			Interval:    *healthInterval,
+			IncidentDir: filepath.Join(os.TempDir(), "bpbench-incidents"),
+		}
+		if *healthOut != "" {
+			f, err := os.Create(*healthOut)
+			fatalIf(err)
+			healthFile = f
+			opts.Out = f
+		}
+		_, err := health.Enable(opts)
+		fatalIf(err)
+		fmt.Printf("health recorder: enabled (interval %v, incidents under %s)\n", *healthInterval, opts.IncidentDir)
 	}
 
 	o := bench.DefaultOptions()
@@ -242,6 +267,22 @@ func main() {
 		win := tr.Window(0, "")
 		fmt.Printf("block tracer: %d spans buffered (%d recorded)\n", tr.Len(), tr.Total())
 		fmt.Print(trace.RenderWindowView(win.View()))
+	}
+	if rec := health.Active(); rec != nil {
+		incidents, dropped := rec.Incidents()
+		if !*jsonOut {
+			fmt.Printf("health recorder: %d samples, %d incident(s)\n", len(rec.Series()), len(incidents))
+			for _, inc := range incidents {
+				fmt.Printf("  incident #%d %s: %s → %s\n", inc.Seq, inc.Rule, inc.Detail, inc.BundleDir)
+			}
+			if dropped > 0 {
+				fmt.Printf("  (%d incident(s) dropped past the cap)\n", dropped)
+			}
+		}
+		health.Disable() // final poll + JSONL flush
+		if healthFile != nil {
+			healthFile.Close()
+		}
 	}
 }
 

@@ -1,0 +1,67 @@
+// The `bpinspect health` subcommand: runtime health time-series sparklines
+// and watchdog incident history. Works against a running node's
+// -telemetry-addr endpoint (remote scrape of /health/series +
+// /health/incidents) or by sampling a short local proposer→pipeline run at a
+// fast interval.
+//
+//	bpinspect health -blocks 4 -threads 8        # local, default workload
+//	bpinspect health -addr localhost:9090 -n 120 # live node, newest 120 samples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blockpilot/internal/health"
+	"blockpilot/internal/telemetry"
+)
+
+// healthMain implements `bpinspect health`.
+func healthMain(args []string) {
+	fs := flag.NewFlagSet("bpinspect health", flag.ExitOnError)
+	var f flightFlags
+	f.register(fs)
+	window := fs.Int("n", 0, "newest n samples (0 = everything buffered)")
+	interval := fs.Duration("interval", 10*time.Millisecond, "local collection: sampler interval (fast, to catch a short run)")
+	_ = fs.Parse(args)
+
+	if f.addr != "" {
+		var series health.SeriesPayload
+		if err := scrapeFlight(f.addr, fmt.Sprintf("/health/series?n=%d", *window), &series); err != nil {
+			fmt.Fprintln(os.Stderr, "bpinspect health:", err)
+			os.Exit(1)
+		}
+		var incidents health.IncidentsPayload
+		if err := scrapeFlight(f.addr, "/health/incidents", &incidents); err != nil {
+			fmt.Fprintln(os.Stderr, "bpinspect health:", err)
+			os.Exit(1)
+		}
+		fmt.Print(health.RenderSeries(series.Samples, time.Duration(series.IntervalS*float64(time.Second))))
+		fmt.Println()
+		fmt.Print(health.RenderIncidents(incidents.Incidents, incidents.Dropped))
+		return
+	}
+
+	telemetry.Enable()
+	rec, err := health.Enable(health.Options{Interval: *interval})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpinspect health:", err)
+		os.Exit(1)
+	}
+	if err := collectLocal(f.blocks, f.threads, f.txs, f.seed, f.swapRatio, f.pairs); err != nil {
+		fmt.Fprintln(os.Stderr, "bpinspect health:", err)
+		os.Exit(1)
+	}
+	health.Disable() // stop the sampler; Stop takes a final quiescent sample
+
+	samples := rec.Series()
+	if *window > 0 && len(samples) > *window {
+		samples = samples[len(samples)-*window:]
+	}
+	incidents, dropped := rec.Incidents()
+	fmt.Print(health.RenderSeries(samples, rec.Interval()))
+	fmt.Println()
+	fmt.Print(health.RenderIncidents(incidents, dropped))
+}

@@ -27,6 +27,14 @@
 //
 //	bpinspect crit -blocks 4 -threads 8
 //	bpinspect crit -addr localhost:9090 -n 16
+//
+// The `health` subcommand reads the runtime health recorder: time-series
+// sparklines of goroutines / heap / commit progress and the watchdog
+// incident history, from a live node's /health endpoints or a short local
+// run sampled at a fast interval:
+//
+//	bpinspect health -blocks 4 -threads 8
+//	bpinspect health -addr localhost:9090 -n 120
 package main
 
 import (
@@ -57,6 +65,9 @@ func main() {
 			return
 		case "crit":
 			critMain(os.Args[2:])
+			return
+		case "health":
+			healthMain(os.Args[2:])
 			return
 		}
 	}

@@ -157,6 +157,10 @@ type ContentionResult struct {
 	// delta (must be negative: MV re-executes less than OCC aborts).
 	MVZipfSpeedupAt4      float64 `json:"mv_vs_occ_zipf_speedup_at_4_threads,omitempty"`
 	MVZipfAbortRatioDelta float64 `json:"mv_vs_occ_zipf_abort_ratio_delta_at_4_threads,omitempty"`
+
+	// Env is the run environment (Go version, peak heap/goroutines); benchdiff
+	// uses it to flag environment drift between trajectory files.
+	Env *RunEnv `json:"env,omitempty"`
 }
 
 // contentionAddrs derives a stable account population.
@@ -516,6 +520,7 @@ func RunContention(o ContentionOptions) (*ContentionResult, error) {
 			}
 		}
 	}
+	res.Env = CaptureRunEnv()
 	return res, nil
 }
 

@@ -1,0 +1,54 @@
+// Run environment metadata stamped into every BENCH_*.json so benchdiff can
+// flag environment drift (a Go upgrade, a GOMAXPROCS change) before blaming
+// a perf delta on the code.
+package bench
+
+import (
+	"runtime"
+
+	"blockpilot/internal/health"
+)
+
+// RunEnv records the runtime environment a suite ran under.
+type RunEnv struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Peak readings come from the process-global health recorder's sampled
+	// series when one is active (bpbench -health) — covering the whole run —
+	// and fall back to a one-shot end-of-run reading otherwise.
+	PeakHeapBytes  uint64 `json:"peak_heap_bytes,omitempty"`
+	PeakGoroutines int    `json:"peak_goroutines,omitempty"`
+	HealthSamples  int    `json:"health_samples,omitempty"`
+}
+
+// CaptureRunEnv snapshots the environment at the end of a suite.
+func CaptureRunEnv() *RunEnv {
+	env := &RunEnv{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if rec := health.Active(); rec != nil {
+		series := rec.Series()
+		env.HealthSamples = len(series)
+		for _, s := range series {
+			if s.Runtime.HeapInUseBytes > env.PeakHeapBytes {
+				env.PeakHeapBytes = s.Runtime.HeapInUseBytes
+			}
+			if s.Runtime.Goroutines > env.PeakGoroutines {
+				env.PeakGoroutines = s.Runtime.Goroutines
+			}
+		}
+	}
+	if env.PeakHeapBytes == 0 || env.PeakGoroutines == 0 {
+		rt := health.ReadRuntimeStats()
+		if env.PeakHeapBytes == 0 {
+			env.PeakHeapBytes = rt.HeapInUseBytes
+		}
+		if env.PeakGoroutines == 0 {
+			env.PeakGoroutines = rt.Goroutines
+		}
+	}
+	return env
+}

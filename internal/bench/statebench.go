@@ -128,6 +128,10 @@ type StateBenchResult struct {
 	// percent (≈0 expected: workers=1 resolves to the identical serial code).
 	SpeedupAt4       float64 `json:"speedup_at_4_workers,omitempty"`
 	Workers1DeltaPct float64 `json:"workers_1_delta_pct"`
+
+	// Env is the run environment (Go version, peak heap/goroutines); benchdiff
+	// uses it to flag environment drift between trajectory files.
+	Env *RunEnv `json:"env,omitempty"`
 }
 
 // RunStateBench runs the suite: one serial baseline over the chained change
@@ -207,6 +211,7 @@ func RunStateBench(o StateBenchOptions) (*StateBenchResult, error) {
 			res.SpeedupAt4 = p.Speedup
 		}
 	}
+	res.Env = CaptureRunEnv()
 	return res, nil
 }
 

@@ -87,6 +87,10 @@ type ValidatorBenchResult struct {
 	// DefaultSpeedupAt8 is serial ÷ ValidateParallel wall time at 8 threads
 	// on the default workload (meaningful only on a multicore host).
 	DefaultSpeedupAt8 float64 `json:"default_speedup_at_8_threads,omitempty"`
+
+	// Env is the run environment (Go version, peak heap/goroutines); benchdiff
+	// uses it to flag environment drift between trajectory files.
+	Env *RunEnv `json:"env,omitempty"`
 }
 
 // chainEntry is one pre-built block with its validation context.
@@ -219,6 +223,7 @@ func RunValidatorBench(o ValidatorBenchOptions) (*ValidatorBenchResult, error) {
 			}
 		}
 	}
+	res.Env = CaptureRunEnv()
 	return res, nil
 }
 

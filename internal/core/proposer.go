@@ -9,6 +9,7 @@ import (
 
 	"blockpilot/internal/chain"
 	"blockpilot/internal/flight"
+	"blockpilot/internal/health"
 	"blockpilot/internal/mempool"
 	"blockpilot/internal/state"
 	"blockpilot/internal/telemetry"
@@ -252,6 +253,7 @@ func proposeOCC(parent *state.Snapshot, parentHeader *types.Header, pool *mempoo
 			mu.Unlock()
 			pool.Done(tx)
 			telemetry.ProposerCommits.Inc()
+			health.Heartbeat(health.CompProposer)
 			flight.Commit(worker, tx, version, height)
 		} else {
 			gasUsed.Add(^(receipt.GasUsed - 1)) // release the reservation

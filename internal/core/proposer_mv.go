@@ -8,6 +8,7 @@ import (
 
 	"blockpilot/internal/chain"
 	"blockpilot/internal/flight"
+	"blockpilot/internal/health"
 	"blockpilot/internal/mempool"
 	"blockpilot/internal/mv"
 	"blockpilot/internal/state"
@@ -215,6 +216,7 @@ func proposeMV(parent *state.Snapshot, parentHeader *types.Header, pool *mempool
 			})
 			pool.Done(claimed[idx])
 			telemetry.ProposerCommits.Inc()
+			health.Heartbeat(health.CompProposer)
 			flight.Commit(mvLane, claimed[idx], types.Version(idx+1), height)
 		}
 		if cut >= 0 {

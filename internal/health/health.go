@@ -1,0 +1,377 @@
+// Package health is the runtime health recorder: a background sampler that
+// captures one Sample per tick — Go runtime signals (heap, GC, scheduler,
+// goroutines) joined with deltas of every registered telemetry counter and
+// the key gauges — into a bounded in-memory ring with optional JSONL spill.
+// A watchdog evaluates invariant rules over the sampled window each tick and
+// emits auto-triage Incident bundles (goroutine dump, telemetry snapshot,
+// recent samples) when one fires.
+//
+// Like flight and trace, the package is budget-gated: with no recorder
+// enabled, the hot-path hooks (Heartbeat, Enabled) are a single atomic
+// pointer load — see TestDisabledPathBudget.
+package health
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockpilot/internal/telemetry"
+)
+
+// Sample is one tick of the recorder: runtime health plus the observed
+// telemetry counter values (cumulative), their deltas since the previous
+// tick, and current gauge readings. The first sample of a series carries no
+// deltas — it only seeds the baseline.
+type Sample struct {
+	Seq      uint64             `json:"seq"`
+	At       time.Time          `json:"at"`
+	Runtime  RuntimeStats       `json:"runtime"`
+	Counters map[string]float64 `json:"counters,omitempty"`
+	Deltas   map[string]float64 `json:"deltas,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// Component identifies a heartbeat source. Heartbeats are liveness pulses
+// from hot paths (pipeline outcome emission, proposer commits) folded into
+// each sample as health_heartbeat_* counters, giving the watchdog a
+// progress signal that works even when telemetry itself is disabled.
+type Component uint8
+
+const (
+	CompPipeline Component = iota
+	CompProposer
+	numComponents
+)
+
+func (c Component) String() string {
+	switch c {
+	case CompPipeline:
+		return "pipeline"
+	case CompProposer:
+		return "proposer"
+	}
+	return fmt.Sprintf("component(%d)", int(c))
+}
+
+// Options configures a Recorder. The zero value is usable: 250ms interval,
+// 2400-sample ring (10 minutes at the default interval), default registry,
+// DefaultRules, wall clock, live runtime readings.
+type Options struct {
+	// Interval between background samples (Start). Default 250ms.
+	Interval time.Duration
+	// RingCapacity bounds the in-memory series. Default 2400 samples.
+	RingCapacity int
+	// Out, when non-nil, receives every sample as one JSON line (spill).
+	Out io.Writer
+	// IncidentDir is where incident bundles are written. Empty disables
+	// bundle writing (incidents are still recorded in memory).
+	IncidentDir string
+	// Registry supplies counters/gauges when Probe is nil. Default registry
+	// when nil.
+	Registry *telemetry.Registry
+	// Rules are the watchdog invariants. nil → DefaultRules(). An explicit
+	// empty non-nil slice disables the watchdog.
+	Rules []Rule
+	// Now is the clock (tests inject a fake one). Default time.Now.
+	Now func() time.Time
+	// Runtime reads runtime stats. Default ReadRuntimeStats. Tests inject a
+	// synthetic reader for determinism.
+	Runtime func() RuntimeStats
+	// Probe, when non-nil, replaces the registry scrape entirely: it returns
+	// the (counters, gauges) maps folded into each sample. The sim uses a
+	// private probe so concurrently running tests don't share global state.
+	Probe func() (counters, gauges map[string]float64)
+	// MaxIncidents caps recorded incidents. Default 32; further violations
+	// are counted but dropped.
+	MaxIncidents int
+}
+
+func (o *Options) normalize() {
+	if o.Interval <= 0 {
+		o.Interval = 250 * time.Millisecond
+	}
+	if o.RingCapacity <= 0 {
+		o.RingCapacity = 2400
+	}
+	if o.Registry == nil {
+		o.Registry = telemetry.Default()
+	}
+	if o.Rules == nil {
+		o.Rules = DefaultRules()
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Runtime == nil {
+		o.Runtime = ReadRuntimeStats
+	}
+	if o.MaxIncidents <= 0 {
+		o.MaxIncidents = 32
+	}
+}
+
+// Recorder samples health into a bounded ring and runs the watchdog.
+type Recorder struct {
+	opts Options
+
+	heartbeats [numComponents]atomic.Uint64
+
+	mu           sync.Mutex
+	ring         []Sample // fixed capacity, write index head
+	head         int
+	count        int
+	seq          uint64
+	prevCounters map[string]float64
+	enc          *json.Encoder
+	rules        []ruleState
+	incidents    []Incident
+	incidentSeq  uint64
+	dropped      uint64 // incidents beyond MaxIncidents
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   atomic.Bool
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+type ruleState struct {
+	rule    Rule
+	latched bool // true after firing; clears when the rule stops violating
+}
+
+// New builds a Recorder. It does not start the background sampler — call
+// Start, or drive it manually with Poll (tests, sim).
+func New(opts Options) (*Recorder, error) {
+	opts.normalize()
+	r := &Recorder{
+		opts: opts,
+		ring: make([]Sample, opts.RingCapacity),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if opts.Out != nil {
+		r.enc = json.NewEncoder(opts.Out)
+	}
+	r.rules = make([]ruleState, len(opts.Rules))
+	for i, rule := range opts.Rules {
+		if rule == nil {
+			return nil, errors.New("health: nil rule")
+		}
+		r.rules[i] = ruleState{rule: rule}
+	}
+	return r, nil
+}
+
+// Start launches the background sampler goroutine. Safe to call once.
+func (r *Recorder) Start() {
+	r.startOnce.Do(func() {
+		r.started.Store(true)
+		go func() {
+			defer close(r.done)
+			t := time.NewTicker(r.opts.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-r.stop:
+					return
+				case <-t.C:
+					r.Poll()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the background sampler and waits for it to exit. Takes one
+// final sample so short runs always record something. Idempotent.
+func (r *Recorder) Stop() {
+	r.stopOnce.Do(func() {
+		r.startOnce.Do(func() {}) // from here on Start is a no-op
+		close(r.stop)
+		if r.started.Load() {
+			<-r.done
+		}
+		r.Poll()
+	})
+}
+
+// Poll takes one sample now and runs the watchdog. Exposed so tests and the
+// sim can drive the recorder deterministically without the ticker.
+func (r *Recorder) Poll() {
+	rt := r.opts.Runtime()
+	var counters, gauges map[string]float64
+	if r.opts.Probe != nil {
+		counters, gauges = r.opts.Probe()
+	} else {
+		counters, gauges = scrapeRegistry(r.opts.Registry)
+	}
+	if counters == nil {
+		counters = map[string]float64{}
+	}
+	for c := Component(0); c < numComponents; c++ {
+		counters["health_heartbeat_"+c.String()] = float64(r.heartbeats[c].Load())
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	s := Sample{Seq: r.seq, At: r.opts.Now(), Runtime: rt, Counters: counters, Gauges: gauges}
+	if r.prevCounters != nil {
+		deltas := make(map[string]float64, len(counters))
+		for name, v := range counters {
+			deltas[name] = v - r.prevCounters[name]
+		}
+		s.Deltas = deltas
+	}
+	r.prevCounters = counters
+
+	r.ring[r.head] = s
+	r.head = (r.head + 1) % len(r.ring)
+	if r.count < len(r.ring) {
+		r.count++
+	}
+	if r.enc != nil {
+		_ = r.enc.Encode(&s)
+	}
+	r.evaluateLocked(&s)
+}
+
+// scrapeRegistry flattens a telemetry snapshot into name→value maps.
+func scrapeRegistry(reg *telemetry.Registry) (map[string]float64, map[string]float64) {
+	snap := reg.Snapshot()
+	counters := make(map[string]float64, len(snap.Counters))
+	for _, n := range snap.Counters {
+		counters[n.Name] = n.Value
+	}
+	gauges := make(map[string]float64, len(snap.Gauges))
+	for _, n := range snap.Gauges {
+		gauges[n.Name] = n.Value
+	}
+	return counters, gauges
+}
+
+// evaluateLocked runs every watchdog rule over the current window. A rule
+// fires at most once per violation episode: the latch sets when Check flips
+// to violated and clears only after a non-violating tick (hysteresis — a
+// single noisy tick inside an episode cannot re-fire it).
+func (r *Recorder) evaluateLocked(latest *Sample) {
+	if len(r.rules) == 0 {
+		return
+	}
+	window := r.seriesLocked()
+	for i := range r.rules {
+		st := &r.rules[i]
+		detail, violated := st.rule.Check(window)
+		if !violated {
+			st.latched = false
+			continue
+		}
+		if st.latched {
+			continue
+		}
+		st.latched = true
+		r.fireLocked(st.rule, latest, detail, window)
+	}
+}
+
+// fireLocked records an incident and writes its bundle (if configured).
+func (r *Recorder) fireLocked(rule Rule, latest *Sample, detail string, window []Sample) {
+	if len(r.incidents) >= r.opts.MaxIncidents {
+		r.dropped++
+		return
+	}
+	r.incidentSeq++
+	inc := Incident{
+		Seq:       r.incidentSeq,
+		Rule:      rule.Name(),
+		At:        latest.At,
+		SampleSeq: latest.Seq,
+		Detail:    detail,
+	}
+	if r.opts.IncidentDir != "" {
+		dir, err := writeBundle(r.opts.IncidentDir, &inc, window, r.opts.Registry)
+		inc.BundleDir = dir
+		if err != nil {
+			inc.BundleErr = err.Error()
+		}
+	}
+	r.incidents = append(r.incidents, inc)
+}
+
+// Series returns the sampled window, oldest first.
+func (r *Recorder) Series() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seriesLocked()
+}
+
+func (r *Recorder) seriesLocked() []Sample {
+	out := make([]Sample, 0, r.count)
+	start := r.head - r.count
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	return out
+}
+
+// Incidents returns recorded incidents in firing order, plus the count of
+// incidents dropped beyond MaxIncidents.
+func (r *Recorder) Incidents() ([]Incident, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Incident(nil), r.incidents...), r.dropped
+}
+
+// Interval reports the recorder's sampling interval.
+func (r *Recorder) Interval() time.Duration { return r.opts.Interval }
+
+// --- process-global recorder (the flight/trace gating pattern) ---
+
+var active atomic.Pointer[Recorder]
+
+// Active returns the process-global recorder, or nil when health recording
+// is disabled. One atomic load.
+func Active() *Recorder { return active.Load() }
+
+// Enabled reports whether a global recorder is running. One atomic load.
+func Enabled() bool { return active.Load() != nil }
+
+// Enable builds, starts, and installs the process-global recorder. An
+// already-active recorder is stopped first.
+func Enable(opts Options) (*Recorder, error) {
+	r, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	r.Start()
+	if prev := active.Swap(r); prev != nil {
+		prev.Stop()
+	}
+	return r, nil
+}
+
+// Disable stops and uninstalls the global recorder (no-op when disabled).
+func Disable() {
+	if prev := active.Swap(nil); prev != nil {
+		prev.Stop()
+	}
+}
+
+// Heartbeat is the hot-path liveness pulse. Disabled cost: one atomic
+// pointer load and a nil check, zero allocations.
+func Heartbeat(c Component) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.heartbeats[c].Add(1)
+}

@@ -1,0 +1,73 @@
+// HTTP exposition for the health recorder, mounted onto the telemetry mux
+// via telemetry.RegisterHTTP (telemetry must not import health, so the
+// dependency points this way):
+//
+//	/health/series [?n=]   sampled window as JSON (last n samples)
+//	/health/incidents      watchdog incidents with bundle locations
+//
+// Both endpoints answer 503 while no recorder is enabled.
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"blockpilot/internal/telemetry"
+)
+
+func init() {
+	telemetry.RegisterHTTP("/health/series", http.HandlerFunc(serveSeries))
+	telemetry.RegisterHTTP("/health/incidents", http.HandlerFunc(serveIncidents))
+}
+
+// requireRecorder fetches the active recorder or writes a 503.
+func requireRecorder(w http.ResponseWriter) *Recorder {
+	r := Active()
+	if r == nil {
+		http.Error(w, "health recorder not enabled (run with -health)", http.StatusServiceUnavailable)
+	}
+	return r
+}
+
+func writeHTTPJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// SeriesPayload is the /health/series answer.
+type SeriesPayload struct {
+	IntervalS float64  `json:"interval_s"`
+	Samples   []Sample `json:"samples"`
+}
+
+// IncidentsPayload is the /health/incidents answer.
+type IncidentsPayload struct {
+	Incidents []Incident `json:"incidents"`
+	Dropped   uint64     `json:"dropped,omitempty"`
+}
+
+func serveSeries(w http.ResponseWriter, req *http.Request) {
+	r := requireRecorder(w)
+	if r == nil {
+		return
+	}
+	samples := r.Series()
+	if s := req.URL.Query().Get("n"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 && n < len(samples) {
+			samples = samples[len(samples)-n:]
+		}
+	}
+	writeHTTPJSON(w, SeriesPayload{IntervalS: r.Interval().Seconds(), Samples: samples})
+}
+
+func serveIncidents(w http.ResponseWriter, req *http.Request) {
+	r := requireRecorder(w)
+	if r == nil {
+		return
+	}
+	incidents, dropped := r.Incidents()
+	writeHTTPJSON(w, IncidentsPayload{Incidents: incidents, Dropped: dropped})
+}

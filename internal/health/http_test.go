@@ -1,0 +1,136 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"blockpilot/internal/telemetry"
+)
+
+func TestHTTPDisabled503(t *testing.T) {
+	disableForTest(t)
+	srv := httptest.NewServer(telemetry.Handler(nil))
+	defer srv.Close()
+	for _, path := range []string{"/health/series", "/health/incidents"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s while disabled: %s, want 503", path, resp.Status)
+		}
+	}
+}
+
+func TestHTTPSeriesAndIncidents(t *testing.T) {
+	p := stallProbe()
+	r := testRecorder(t, Options{Rules: []Rule{&StallRule{
+		Windows:          4,
+		WorkGauges:       []string{"blockpilot_pipeline_blocks_inflight"},
+		ProgressCounters: []string{"blockpilot_validator_blocks_total"},
+	}}}, p)
+	prev := Active()
+	active.Store(r)
+	t.Cleanup(func() { active.Store(prev) })
+	for i := 0; i < 6; i++ {
+		r.Poll()
+	}
+
+	srv := httptest.NewServer(telemetry.Handler(nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/health/series?n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series SeriesPayload
+	if err := json.NewDecoder(resp.Body).Decode(&series); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(series.Samples) != 3 {
+		t.Fatalf("?n=3 returned %d samples", len(series.Samples))
+	}
+	if series.Samples[2].Seq != 6 {
+		t.Fatalf("last sample seq = %d, want 6", series.Samples[2].Seq)
+	}
+	if series.IntervalS != 0.25 {
+		t.Fatalf("interval_s = %v, want 0.25", series.IntervalS)
+	}
+
+	resp, err = http.Get(srv.URL + "/health/incidents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var incidents IncidentsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&incidents); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(incidents.Incidents) != 1 || incidents.Incidents[0].Rule != "stall" {
+		t.Fatalf("incidents payload = %+v", incidents)
+	}
+}
+
+func TestRenderSeriesAndIncidents(t *testing.T) {
+	p := stallProbe()
+	r := testRecorder(t, Options{}, p)
+	for i := 0; i < 8; i++ {
+		p.counters["blockpilot_proposer_commits_total"] += float64(i)
+		r.Poll()
+	}
+	out := RenderSeries(r.Series(), r.Interval())
+	for _, want := range []string{"health series", "pipeline_inflight", "commits/Δ"} {
+		if !contains(out, want) {
+			t.Fatalf("RenderSeries lacks %q:\n%s", want, out)
+		}
+	}
+	if contains(out, "goroutines") {
+		t.Fatalf("all-zero signal should be omitted:\n%s", out)
+	}
+
+	if got := RenderIncidents(nil, 0); got != "incidents: none\n" {
+		t.Fatalf("empty incidents rendering: %q", got)
+	}
+	inc := []Incident{{Seq: 1, Rule: "stall", Detail: "zero progress", BundleDir: "/tmp/x"}}
+	out = RenderIncidents(inc, 3)
+	for _, want := range []string{"incidents: 1", "stall", "zero progress", "bundle: /tmp/x", "+3 dropped"} {
+		if !contains(out, want) {
+			t.Fatalf("RenderIncidents lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if got := Spark([]float64{0, 1, 2, 3, 4, 5, 6, 7}); got != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("Spark ramp = %q", got)
+	}
+	if got := Spark([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Fatalf("flat spark = %q", got)
+	}
+	if got := Spark(nil); got != "" {
+		t.Fatalf("empty spark = %q", got)
+	}
+	// Resample keeps spikes visible under max-pooling.
+	long := make([]float64, 600)
+	long[300] = 100
+	rs := resample(long)
+	if len(rs) != sparkWidth {
+		t.Fatalf("resample length = %d", len(rs))
+	}
+	spike := false
+	for _, v := range rs {
+		if v == 100 {
+			spike = true
+		}
+	}
+	if !spike {
+		t.Fatal("resample lost the spike")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,7 @@
+//go:build race
+
+package health
+
+// raceEnabled lets timing-sensitive tests skip under the race detector,
+// whose instrumented atomics are an order of magnitude slower.
+const raceEnabled = true

@@ -1,0 +1,293 @@
+package health
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stallProbe produces a stalled pipeline: work in flight, no progress.
+func stallProbe() *probeState {
+	return &probeState{
+		counters: map[string]float64{
+			"blockpilot_validator_blocks_total": 10,
+			"blockpilot_proposer_commits_total": 100,
+		},
+		gauges: map[string]float64{
+			"blockpilot_pipeline_blocks_inflight": 2,
+		},
+	}
+}
+
+func TestStallRuleFiresOncePerEpisode(t *testing.T) {
+	p := stallProbe()
+	r := testRecorder(t, Options{Rules: []Rule{&StallRule{
+		Windows:          4,
+		WorkGauges:       []string{"blockpilot_pipeline_blocks_inflight"},
+		ProgressCounters: []string{"blockpilot_validator_blocks_total"},
+	}}}, p)
+
+	// Baseline + 3 stalled samples: not enough consecutive windows yet.
+	for i := 0; i < 4; i++ {
+		r.Poll()
+	}
+	if inc, _ := r.Incidents(); len(inc) != 0 {
+		t.Fatalf("fired before %d consecutive stalled samples: %+v", 4, inc)
+	}
+	// 5th sample completes 4 consecutive delta-bearing stalled samples.
+	r.Poll()
+	inc, _ := r.Incidents()
+	if len(inc) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(inc))
+	}
+	if inc[0].Rule != "stall" || !strings.Contains(inc[0].Detail, "zero progress") {
+		t.Fatalf("incident = %+v", inc[0])
+	}
+	// Latched: staying stalled must not re-fire.
+	for i := 0; i < 10; i++ {
+		r.Poll()
+	}
+	if inc, _ := r.Incidents(); len(inc) != 1 {
+		t.Fatalf("latch failed: %d incidents while continuously stalled", len(inc))
+	}
+	// Recovery (progress resumes) clears the latch...
+	p.counters["blockpilot_validator_blocks_total"] += 5
+	r.Poll()
+	// ...and a fresh stall episode fires a second incident.
+	for i := 0; i < 4; i++ {
+		r.Poll()
+	}
+	inc, _ = r.Incidents()
+	if len(inc) != 2 {
+		t.Fatalf("incidents after recovery + new stall = %d, want 2", len(inc))
+	}
+	if inc[1].Seq != 2 || inc[1].SampleSeq <= inc[0].SampleSeq || !inc[1].At.After(inc[0].At) {
+		t.Fatalf("incident ordering broken: %+v", inc)
+	}
+}
+
+// TestStallRuleNoFlapOnNoisyTick: a single progress-free tick inside an
+// otherwise healthy stream must not fire (consecutive-window hysteresis).
+func TestStallRuleNoFlapOnNoisyTick(t *testing.T) {
+	p := stallProbe()
+	r := testRecorder(t, Options{Rules: []Rule{&StallRule{
+		Windows:          4,
+		WorkGauges:       []string{"blockpilot_pipeline_blocks_inflight"},
+		ProgressCounters: []string{"blockpilot_validator_blocks_total"},
+	}}}, p)
+	r.Poll() // baseline
+	for i := 0; i < 20; i++ {
+		if i%4 != 3 { // three progressing ticks, then one noisy zero-progress tick
+			p.counters["blockpilot_validator_blocks_total"]++
+		}
+		r.Poll()
+	}
+	if inc, _ := r.Incidents(); len(inc) != 0 {
+		t.Fatalf("watchdog flapped on noisy ticks: %+v", inc)
+	}
+}
+
+func TestGoroutineGrowthRule(t *testing.T) {
+	g := 100
+	grow := true
+	r := testRecorder(t, Options{
+		Rules: []Rule{&GoroutineGrowthRule{Windows: 4, MinGrowth: 30}},
+		Runtime: func() RuntimeStats {
+			if grow {
+				g += 10
+			}
+			return RuntimeStats{Goroutines: g}
+		},
+	}, nil)
+	for i := 0; i < 4; i++ {
+		r.Poll()
+	}
+	inc, _ := r.Incidents()
+	if len(inc) != 1 || inc[0].Rule != "goroutine-growth" {
+		t.Fatalf("incidents = %+v, want one goroutine-growth", inc)
+	}
+	// Flat goroutine count clears the latch and fires nothing more.
+	grow = false
+	for i := 0; i < 6; i++ {
+		r.Poll()
+	}
+	if inc, _ := r.Incidents(); len(inc) != 1 {
+		t.Fatalf("flat count still fired: %d incidents", len(inc))
+	}
+}
+
+func TestGoroutineGrowthBelowThresholdSilent(t *testing.T) {
+	g := 100
+	r := testRecorder(t, Options{
+		Rules:   []Rule{&GoroutineGrowthRule{Windows: 4, MinGrowth: 100}},
+		Runtime: func() RuntimeStats { g += 2; return RuntimeStats{Goroutines: g} }, // +6 per window < 100
+	}, nil)
+	for i := 0; i < 12; i++ {
+		r.Poll()
+	}
+	if inc, _ := r.Incidents(); len(inc) != 0 {
+		t.Fatalf("small growth fired: %+v", inc)
+	}
+}
+
+func TestHeapSlopeRule(t *testing.T) {
+	heap := uint64(1 << 20)
+	r := testRecorder(t, Options{
+		// Fake clock steps 250ms/sample; +64MiB/sample = 256MiB/s ≫ 100MiB/s.
+		Rules:   []Rule{&HeapSlopeRule{Windows: 4, MaxBytesPerSec: 100 << 20}},
+		Runtime: func() RuntimeStats { heap += 64 << 20; return RuntimeStats{HeapInUseBytes: heap} },
+	}, nil)
+	for i := 0; i < 4; i++ {
+		r.Poll()
+	}
+	inc, _ := r.Incidents()
+	if len(inc) != 1 || inc[0].Rule != "heap-slope" {
+		t.Fatalf("incidents = %+v, want one heap-slope", inc)
+	}
+}
+
+func TestAbortSpikeRule(t *testing.T) {
+	p := &probeState{counters: map[string]float64{
+		"blockpilot_proposer_commits_total": 0,
+		"blockpilot_proposer_aborts_total":  0,
+	}}
+	r := testRecorder(t, Options{Rules: []Rule{&AbortSpikeRule{
+		Windows: 4, MinAttempts: 100, MaxRatio: 0.5,
+	}}}, p)
+	r.Poll() // baseline
+	// Healthy phase: lots of commits, few aborts.
+	for i := 0; i < 6; i++ {
+		p.counters["blockpilot_proposer_commits_total"] += 50
+		p.counters["blockpilot_proposer_aborts_total"] += 2
+		r.Poll()
+	}
+	if inc, _ := r.Incidents(); len(inc) != 0 {
+		t.Fatalf("healthy ratio fired: %+v", inc)
+	}
+	// Thrash phase: aborts dominate.
+	for i := 0; i < 4; i++ {
+		p.counters["blockpilot_proposer_commits_total"] += 5
+		p.counters["blockpilot_proposer_aborts_total"] += 45
+		r.Poll()
+	}
+	inc, _ := r.Incidents()
+	if len(inc) != 1 || inc[0].Rule != "abort-spike" {
+		t.Fatalf("incidents = %+v, want one abort-spike", inc)
+	}
+}
+
+// TestDeterministicIncidents: identical inputs under a fixed fake clock
+// produce byte-identical incident records (ordering, timestamps, details).
+func TestDeterministicIncidents(t *testing.T) {
+	run := func() []Incident {
+		p := stallProbe()
+		r := testRecorder(t, Options{Rules: []Rule{&StallRule{
+			Windows:          4,
+			WorkGauges:       []string{"blockpilot_pipeline_blocks_inflight"},
+			ProgressCounters: []string{"blockpilot_validator_blocks_total"},
+		}}}, p)
+		for i := 0; i < 8; i++ {
+			r.Poll()
+		}
+		inc, _ := r.Incidents()
+		return inc
+	}
+	a, b := run(), run()
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("incident records differ across identical runs:\n%s\n%s", ja, jb)
+	}
+	if len(a) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(a))
+	}
+}
+
+func TestIncidentBundleContents(t *testing.T) {
+	dir := t.TempDir()
+	p := stallProbe()
+	r := testRecorder(t, Options{
+		IncidentDir: dir,
+		Rules: []Rule{&StallRule{
+			Windows:          4,
+			WorkGauges:       []string{"blockpilot_pipeline_blocks_inflight"},
+			ProgressCounters: []string{"blockpilot_validator_blocks_total"},
+		}},
+	}, p)
+	for i := 0; i < 5; i++ {
+		r.Poll()
+	}
+	inc, _ := r.Incidents()
+	if len(inc) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(inc))
+	}
+	if inc[0].BundleErr != "" {
+		t.Fatalf("bundle error: %s", inc[0].BundleErr)
+	}
+	if !strings.HasPrefix(filepath.Base(inc[0].BundleDir), "incident-001-stall-") {
+		t.Fatalf("bundle dir name: %s", inc[0].BundleDir)
+	}
+
+	var bundle incidentBundle
+	raw, err := os.ReadFile(filepath.Join(inc[0].BundleDir, "incident.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &bundle); err != nil {
+		t.Fatalf("incident.json invalid: %v", err)
+	}
+	if bundle.Incident.Rule != "stall" || len(bundle.Samples) == 0 {
+		t.Fatalf("bundle payload: %+v", bundle.Incident)
+	}
+	if bundle.Samples[len(bundle.Samples)-1].Seq != bundle.Incident.SampleSeq {
+		t.Fatal("bundle samples do not end at the triggering sample")
+	}
+
+	gor, err := os.ReadFile(filepath.Join(inc[0].BundleDir, "goroutines.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(gor), "goroutine ") {
+		t.Fatalf("goroutines.txt does not look like a stack dump:\n%.200s", gor)
+	}
+
+	var snap map[string]any
+	raw, err = os.ReadFile(filepath.Join(inc[0].BundleDir, "telemetry.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("telemetry.json invalid: %v", err)
+	}
+	if _, ok := snap["counters"]; !ok {
+		t.Fatal("telemetry.json lacks counters")
+	}
+}
+
+func TestMaxIncidentsCap(t *testing.T) {
+	g := 0
+	r := testRecorder(t, Options{
+		MaxIncidents: 2,
+		// Alternate growth episodes and flat ticks to fire repeatedly.
+		Rules:   []Rule{&GoroutineGrowthRule{Windows: 2, MinGrowth: 1}},
+		Runtime: func() RuntimeStats { g += 10; return RuntimeStats{Goroutines: g} },
+	}, nil)
+	flat := func() { v := g; r.opts.Runtime = func() RuntimeStats { return RuntimeStats{Goroutines: v} } }
+	grow := func() { r.opts.Runtime = func() RuntimeStats { g += 10; return RuntimeStats{Goroutines: g} } }
+	for episode := 0; episode < 4; episode++ {
+		grow()
+		r.Poll()
+		r.Poll()
+		flat()
+		r.Poll()
+	}
+	inc, dropped := r.Incidents()
+	if len(inc) != 2 {
+		t.Fatalf("incidents = %d, want cap 2", len(inc))
+	}
+	if dropped == 0 {
+		t.Fatal("dropped count not reported")
+	}
+}

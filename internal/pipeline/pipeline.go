@@ -17,6 +17,7 @@ import (
 
 	"blockpilot/internal/chain"
 	"blockpilot/internal/flight"
+	"blockpilot/internal/health"
 	"blockpilot/internal/telemetry"
 	"blockpilot/internal/trace"
 	"blockpilot/internal/types"
@@ -244,6 +245,7 @@ func (p *Pipeline) run(pb *pendingBlock) {
 	telemetry.PipelineBlockSeconds.ObserveDuration(out.Elapsed)
 	flight.BlockDone(block.Header.Number, out.Err == nil)
 	p.results <- out
+	health.Heartbeat(health.CompPipeline)
 
 	p.mu.Lock()
 	if out.Err == nil {
@@ -277,7 +279,21 @@ func (p *Pipeline) failSubtreeLocked(parent types.Hash, cause error) int {
 	n := len(children)
 	for _, c := range children {
 		p.results <- Outcome{Block: c.block, Err: cause, Elapsed: time.Since(c.arrived)}
+		health.Heartbeat(health.CompPipeline)
 		n += p.failSubtreeLocked(c.block.Hash(), cause)
+	}
+	return n
+}
+
+// Pending reports how many blocks the pipeline currently holds: active
+// validations plus blocks parked behind unresolved parents. The health
+// recorder's sim probe uses this as its work gauge.
+func (p *Pipeline) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.running
+	for _, parked := range p.waiting {
+		n += len(parked)
 	}
 	return n
 }

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStallScenarioFiresWatchdog: the stall preset's StallProbeAt injection
+// must deterministically produce exactly one stall incident on v0, with a
+// complete bundle on disk, and the run must still pass every other oracle
+// (run() fails on oracle problems, which include the health oracle).
+func TestStallScenarioFiresWatchdog(t *testing.T) {
+	rep := run(t, "stall", 1)
+	if len(rep.HealthIncidents) != 1 {
+		t.Fatalf("stall run recorded %d incidents, want exactly 1:\n%s",
+			len(rep.HealthIncidents), rep.Render())
+	}
+	inc := rep.HealthIncidents[0]
+	if inc.Rule != "stall" {
+		t.Fatalf("incident rule = %q, want stall", inc.Rule)
+	}
+	if !strings.Contains(inc.Detail, "zero progress") {
+		t.Fatalf("incident detail: %s", inc.Detail)
+	}
+	if inc.BundleErr != "" {
+		t.Fatalf("bundle error: %s", inc.BundleErr)
+	}
+
+	// Bundle survives under cfg.Dir (t.TempDir via run()): the triggering
+	// samples must show the frozen window — work pending, zero progress.
+	raw, err := os.ReadFile(filepath.Join(inc.BundleDir, "incident.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle struct {
+		Incident struct {
+			Rule string `json:"rule"`
+		} `json:"incident"`
+		Samples []struct {
+			Seq    uint64             `json:"seq"`
+			Gauges map[string]float64 `json:"gauges"`
+			Deltas map[string]float64 `json:"deltas"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal(raw, &bundle); err != nil {
+		t.Fatalf("incident.json: %v", err)
+	}
+	if bundle.Incident.Rule != "stall" || len(bundle.Samples) < simStallWindows {
+		t.Fatalf("bundle incident=%q samples=%d", bundle.Incident.Rule, len(bundle.Samples))
+	}
+	last := bundle.Samples[len(bundle.Samples)-1]
+	if last.Gauges[healthProbeGauge] == 0 {
+		t.Fatalf("triggering sample shows no pending work: %+v", last)
+	}
+	if last.Deltas[healthProbeCounter] != 0 {
+		t.Fatalf("triggering sample shows progress: %+v", last)
+	}
+	if _, err := os.Stat(filepath.Join(inc.BundleDir, "goroutines.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(inc.BundleDir, "telemetry.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBaselineScenarioNoIncidents: a healthy run polled at quiesced points
+// must record samples and zero incidents, deterministically.
+func TestBaselineScenarioNoIncidents(t *testing.T) {
+	for _, seed := range []int64{1, 9} {
+		rep := run(t, "baseline", seed)
+		if rep.HealthSamples == 0 {
+			t.Fatalf("seed %d: baseline recorded no health samples", seed)
+		}
+		if len(rep.HealthIncidents) != 0 {
+			t.Fatalf("seed %d: baseline recorded incidents:\n%s", seed, rep.Render())
+		}
+	}
+}
+
+// TestStallIncidentDeterministic: two identical stall runs agree on the
+// incident count, firing sample, and fake-clock timestamp.
+func TestStallIncidentDeterministic(t *testing.T) {
+	a, b := run(t, "stall", 7), run(t, "stall", 7)
+	if len(a.HealthIncidents) != 1 || len(b.HealthIncidents) != 1 {
+		t.Fatalf("incident counts: %d vs %d", len(a.HealthIncidents), len(b.HealthIncidents))
+	}
+	ia, ib := a.HealthIncidents[0], b.HealthIncidents[0]
+	if ia.SampleSeq != ib.SampleSeq || !ia.At.Equal(ib.At) || ia.Detail != ib.Detail {
+		t.Fatalf("incidents differ across identical runs:\n%+v\n%+v", ia, ib)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"blockpilot/internal/health"
 	"blockpilot/internal/types"
 )
 
@@ -30,6 +31,14 @@ type Report struct {
 	Problems    []string
 	Mutations   []MutationCheck
 	Stats       Stats
+
+	// Health recorder results (cfg.Health): quiesced samples taken and the
+	// watchdog incidents. Excluded from the run digest — incident bundle
+	// paths and wall-clock-free fake timestamps are still asserted by the
+	// health oracle.
+	HealthSamples   int
+	HealthIncidents []health.Incident
+	HealthDropped   uint64
 }
 
 // OK reports whether every oracle held and (when run) every seeded bug in
@@ -71,6 +80,12 @@ func (r *Report) Render() string {
 	}
 	fmt.Fprintf(&b, "  digest: %s\n", r.Digest)
 	fmt.Fprintf(&b, "  trace digest: %s\n", r.TraceDigest)
+	if r.Cfg.Health {
+		fmt.Fprintf(&b, "  health: %d samples, %d incident(s)\n", r.HealthSamples, len(r.HealthIncidents))
+		for _, inc := range r.HealthIncidents {
+			fmt.Fprintf(&b, "    incident #%d %s @sample %d: %s\n", inc.Seq, inc.Rule, inc.SampleSeq, inc.Detail)
+		}
+	}
 	for _, m := range r.Mutations {
 		status := "caught"
 		if !m.Caught {
@@ -101,6 +116,11 @@ func (r *runner) report() *Report {
 	rep.Problems = append(rep.Problems, r.checkCorruption()...)
 	rep.Problems = append(rep.Problems, r.checkConvergence()...)
 	rep.Problems = append(rep.Problems, r.checkTracing()...)
+	rep.Problems = append(rep.Problems, r.checkHealth()...)
+	if r.health != nil {
+		rep.HealthSamples = len(r.health.Series())
+		rep.HealthIncidents, rep.HealthDropped = r.health.Incidents()
+	}
 	rep.Digest = r.digest()
 	rep.TraceDigest = r.traceDigest()
 	return rep

@@ -7,11 +7,13 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blockpilot/internal/blockdb"
 	"blockpilot/internal/chain"
 	"blockpilot/internal/core"
+	"blockpilot/internal/health"
 	"blockpilot/internal/mempool"
 	"blockpilot/internal/network"
 	"blockpilot/internal/pipeline"
@@ -51,6 +53,13 @@ type valNode struct {
 	chain *chain.Chain
 	pipe  *pipeline.Pipeline
 	done  chan struct{}
+
+	// baseWrap is the scenario's task wrapper (StallEvery perturbation);
+	// the health stall injection composes its gate around it.
+	baseWrap func(func()) func()
+	// submitted counts pipe.Submit calls (via submit) so quiesce can tell
+	// when the outcome consumer caught up with every produced outcome.
+	submitted atomic.Int64
 
 	mu        sync.Mutex
 	incs      []*incarnation
@@ -117,7 +126,7 @@ func (v *valNode) crashRestart(genesis *state.Snapshot, params chain.Params, thr
 			if err != nil {
 				return fmt.Errorf("sim: %s replay %d: %w", v.name, h, err)
 			}
-			v.pipe.Submit(b)
+			v.submit(b)
 		}
 	}
 	v.pipe.Wait()
@@ -163,6 +172,9 @@ type runner struct {
 	heights   map[types.Hash]uint64       // genuine hash → height
 	tampers   []*tamperedInstance         // creation order
 	byPointer map[*types.Block]*tamperedInstance
+
+	health    *health.Recorder // deterministic v0 recorder (cfg.Health)
+	stallGate chan struct{}    // open while the stall injection freezes v0
 
 	txGenerated int
 	txCommitted int
@@ -238,7 +250,7 @@ func Run(cfg Config) (*Report, error) {
 			every := cfg.StallEvery
 			var n int64
 			var mu sync.Mutex
-			v.wpool.SetTaskWrapper(func(f func()) func() {
+			v.baseWrap = func(f func()) func() {
 				return func() {
 					mu.Lock()
 					n++
@@ -249,7 +261,8 @@ func Run(cfg Config) (*Report, error) {
 					}
 					f()
 				}
-			})
+			}
+			v.wpool.SetTaskWrapper(v.baseWrap)
 		}
 		db, err := blockdb.Open(v.dbPath)
 		if err != nil {
@@ -258,6 +271,18 @@ func Run(cfg Config) (*Report, error) {
 		v.db = db
 		v.start(genesis, params, cfg.ValidatorThreads)
 		r.vals = append(r.vals, v)
+	}
+
+	if cfg.Health {
+		if err := r.setupHealth(dir); err != nil {
+			for _, v := range r.vals {
+				v.stop()
+				v.wpool.Close()
+				v.db.Close()
+			}
+			r.net.Close()
+			return nil, err
+		}
 	}
 
 	err := r.drive(pnode, genesis)
@@ -272,6 +297,9 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
+	if r.health != nil {
+		r.health.Stop() // records the final (idle) sample
+	}
 	rep := r.report()
 	for _, v := range r.vals {
 		v.wpool.Close()
@@ -379,11 +407,28 @@ func (r *runner) drive(pnode *network.Node, genesis *state.Snapshot) error {
 			pnode.Broadcast(b)
 		}
 
+		// Stall injection: freeze v0's worker pool before its inbox drains,
+		// so every validation task this height submits parks on the gate.
+		if r.health != nil && cfg.StallProbeAt == h {
+			r.gateStall()
+		}
+
 		// Deliver: latency-0 sends are synchronous, so each validator's
 		// inbox already holds everything the faults let through (reorder
 		// holdbacks surface on a later height's traffic).
 		for _, v := range r.vals {
 			r.drainInbox(v)
+		}
+
+		if r.health != nil {
+			if cfg.StallProbeAt == h {
+				// Poll through the frozen window (work pending, zero
+				// progress), then release the gate.
+				r.stallProbePolls()
+				r.ungateStall()
+			}
+			// One quiesced sample per height: v0 drained, consumer caught up.
+			r.healthPoll()
 		}
 
 		tip = branch{st: res.State, header: &blk.Header}
@@ -412,7 +457,7 @@ func (r *runner) drive(pnode *network.Node, genesis *state.Snapshot) error {
 			for _, blk := range r.canonical {
 				if v.chain.Block(blk.Hash()) == nil {
 					v.delivered[blk.Hash()] = blk
-					v.pipe.Submit(blk)
+					v.submit(blk)
 					resent = true
 				}
 			}
@@ -432,7 +477,7 @@ func (r *runner) drive(pnode *network.Node, genesis *state.Snapshot) error {
 		for _, v := range r.vals {
 			for _, blk := range r.sortedDelivered(v) {
 				if v.chain.Block(blk.Hash()) == nil && v.chain.StateOf(blk.Header.ParentHash) != nil {
-					v.pipe.Submit(blk)
+					v.submit(blk)
 					resent = true
 				}
 			}
@@ -452,7 +497,7 @@ func (r *runner) drive(pnode *network.Node, genesis *state.Snapshot) error {
 				continue
 			}
 			if !classified(v.outcomesFor(ti.instance), ti) {
-				v.pipe.Submit(ti.instance)
+				v.submit(ti.instance)
 			}
 		}
 		v.pipe.Wait()
@@ -490,7 +535,7 @@ func (r *runner) drainInbox(v *valNode) {
 			} else {
 				v.delivered[msg.Block.Hash()] = msg.Block
 			}
-			v.pipe.Submit(msg.Block)
+			v.submit(msg.Block)
 		default:
 			return
 		}

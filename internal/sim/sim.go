@@ -83,6 +83,19 @@ type Config struct {
 	// exercising mempool requeue conservation.
 	GasLimit uint64
 
+	// Health attaches a deterministic health recorder to validator v0: a
+	// fake-clock sampler polled at quiesced points, watched by the stall
+	// rule over a private probe (v0 pipeline pending vs outcome progress).
+	// The health oracle then requires zero incidents — unless StallProbeAt
+	// injects one on purpose.
+	Health bool
+
+	// StallProbeAt (requires Health) gates v0's worker pool at that height:
+	// every validation task blocks on a channel while the recorder polls
+	// through the frozen window, so the stall watchdog must fire exactly
+	// once, with a complete incident bundle (0 = no injection).
+	StallProbeAt int
+
 	// MutationCheck also runs the seeded-bug self-check (Mutations).
 	MutationCheck bool
 
@@ -113,6 +126,12 @@ func (c *Config) Normalize() {
 	if c.ForkEvery > 0 && c.ForkWidth <= 0 {
 		c.ForkWidth = 2
 	}
+	if c.StallProbeAt > 0 {
+		c.Health = true
+		if c.StallProbeAt > c.Heights {
+			c.StallProbeAt = c.Heights
+		}
+	}
 	if c.Scenario == "" {
 		c.Scenario = "custom"
 	}
@@ -123,7 +142,7 @@ func (c *Config) Normalize() {
 
 // presets is the scenario matrix (docs/TESTING.md documents each row).
 var presets = map[string]Config{
-	"baseline": {},
+	"baseline": {Health: true},
 	"forks": {
 		ForkEvery: 2, ForkWidth: 2, DeepForks: true,
 	},
@@ -146,6 +165,7 @@ var presets = map[string]Config{
 	"stall": {
 		StallEvery: 3,
 		ForkEvery:  2, ForkWidth: 2, DeepForks: true,
+		Health: true, StallProbeAt: 4,
 	},
 	"gaslimit": {
 		GasLimit: 600_000, Heights: 6,

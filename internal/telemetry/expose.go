@@ -31,6 +31,19 @@ func RegisterHTTP(path string, h http.Handler) {
 	extraHandlers[path] = h
 }
 
+// HealthzPayload is the /healthz liveness answer: a status plus enough
+// runtime identity (uptime, goroutines, GOMAXPROCS, Go version) for a probe
+// or a human to tell which process answered and how healthy it looks.
+type HealthzPayload struct {
+	Status           string  `json:"status"`
+	TelemetryEnabled bool    `json:"telemetry_enabled"`
+	UptimeS          float64 `json:"uptime_s"`
+	GoVersion        string  `json:"go_version"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Goroutines       int     `json:"goroutines"`
+	HeapInUse        uint64  `json:"heap_inuse_bytes"`
+}
+
 // PrometheusText renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4). Histograms render cumulatively with `le` labels,
 // as Prometheus expects.
@@ -103,8 +116,16 @@ func Handler(r *Registry) http.Handler {
 		_, _ = w.Write([]byte(ReportSnapshot(r.Snapshot())))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"telemetry_enabled\":%t}\n", Enabled())
+		info := ReadRuntimeInfo()
+		serveJSON(w, HealthzPayload{
+			Status:           "ok",
+			TelemetryEnabled: Enabled(),
+			UptimeS:          info.UptimeS,
+			GoVersion:        info.GoVersion,
+			GOMAXPROCS:       info.GOMAXPROCS,
+			Goroutines:       info.Goroutines,
+			HeapInUse:        info.HeapInUse,
+		})
 	})
 	extraMu.Lock()
 	extraPaths := make([]string, 0, len(extraHandlers))

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -27,10 +28,7 @@ func TestHealthz(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
 		t.Fatalf("/healthz content type %q", ct)
 	}
-	var body struct {
-		Status           string `json:"status"`
-		TelemetryEnabled bool   `json:"telemetry_enabled"`
-	}
+	var body HealthzPayload
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatalf("/healthz is not valid JSON: %v", err)
 	}
@@ -39,6 +37,21 @@ func TestHealthz(t *testing.T) {
 	}
 	if body.TelemetryEnabled != Enabled() {
 		t.Fatalf("telemetry_enabled = %t, want %t", body.TelemetryEnabled, Enabled())
+	}
+	if body.Goroutines <= 0 {
+		t.Fatalf("goroutines = %d, want > 0", body.Goroutines)
+	}
+	if body.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Fatalf("gomaxprocs = %d, want %d", body.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if body.GoVersion != runtime.Version() {
+		t.Fatalf("go_version = %q, want %q", body.GoVersion, runtime.Version())
+	}
+	if body.UptimeS < 0 {
+		t.Fatalf("uptime_s = %f, want >= 0", body.UptimeS)
+	}
+	if body.HeapInUse == 0 {
+		t.Fatalf("heap_inuse_bytes = 0, want > 0")
 	}
 }
 

@@ -18,7 +18,12 @@ func Report() string { return ReportSnapshot(defaultRegistry.Snapshot()) }
 // ReportSnapshot renders a frozen snapshot as text tables.
 func ReportSnapshot(s *Snapshot) string {
 	var b strings.Builder
-	b.WriteString("telemetry report — " + s.TakenAt.Format(time.RFC3339) + "\n\n")
+	b.WriteString("telemetry report — " + s.TakenAt.Format(time.RFC3339) + "\n")
+	if rt := s.Runtime; rt != nil {
+		fmt.Fprintf(&b, "runtime: %s  GOMAXPROCS=%d  goroutines=%d  heap=%s  gc=%d\n",
+			rt.GoVersion, rt.GOMAXPROCS, rt.Goroutines, FormatBytes(rt.HeapInUse), rt.GCCycles)
+	}
+	b.WriteString("\n")
 
 	if len(s.Counters) > 0 {
 		if s.Interval > 0 {
@@ -100,6 +105,21 @@ func lowerBound(upper uint64) float64 {
 		return 0
 	}
 	return float64(upper) / 2
+}
+
+// FormatBytes renders a byte count with a binary-prefix unit (4.0KiB,
+// 34.2MiB). Used by the report runtime header and the health renderings.
+func FormatBytes(v uint64) string {
+	const unit = 1024
+	if v < unit {
+		return fmt.Sprintf("%dB", v)
+	}
+	div, exp := uint64(unit), 0
+	for n := v / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(v)/float64(div), "KMGTPE"[exp])
 }
 
 // formatUnit renders a value with its unit ("ns" values render as

@@ -1,0 +1,55 @@
+// Lightweight Go-runtime identity readings attached to every snapshot, the
+// /healthz payload, and the Report header — so a scraped snapshot carries
+// the *node's* runtime state, not the inspector's. The heavier time-series
+// sampler (GC pause totals, scheduler latency) lives in internal/health;
+// this is the cheap subset safe to read on every Snapshot call.
+package telemetry
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"time"
+)
+
+// RuntimeInfo identifies the process runtime at capture time.
+type RuntimeInfo struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Goroutines int     `json:"goroutines"`
+	HeapInUse  uint64  `json:"heap_inuse_bytes"`
+	GCCycles   uint64  `json:"gc_cycles"`
+	UptimeS    float64 `json:"uptime_s"`
+}
+
+// processStart anchors UptimeS (package init ≈ process start).
+var processStart = time.Now()
+
+// runtime/metrics names read by ReadRuntimeInfo. Absent names report
+// KindBad and leave the field zero, so the reader is robust across Go
+// releases.
+const (
+	metricHeapObjects = "/memory/classes/heap/objects:bytes"
+	metricGCCycles    = "/gc/cycles/total:gc-cycles"
+)
+
+// ReadRuntimeInfo captures the current runtime identity. It uses
+// runtime/metrics (no stop-the-world) and costs a few microseconds.
+func ReadRuntimeInfo() RuntimeInfo {
+	s := []metrics.Sample{{Name: metricHeapObjects}, {Name: metricGCCycles}}
+	metrics.Read(s)
+	info := RuntimeInfo{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Goroutines: runtime.NumGoroutine(),
+		UptimeS:    time.Since(processStart).Seconds(),
+	}
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		info.HeapInUse = s[0].Value.Uint64()
+	}
+	if s[1].Value.Kind() == metrics.KindUint64 {
+		info.GCCycles = s[1].Value.Uint64()
+	}
+	return info
+}

@@ -371,17 +371,20 @@ type NumberSnapshot struct {
 type Snapshot struct {
 	TakenAt    time.Time           `json:"taken_at"`
 	Interval   float64             `json:"interval_s,omitempty"`
+	Runtime    *RuntimeInfo        `json:"runtime,omitempty"`
 	Counters   []NumberSnapshot    `json:"counters"`
 	Gauges     []NumberSnapshot    `json:"gauges"`
 	Histograms []HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot freezes every registered metric.
+// Snapshot freezes every registered metric, stamped with the capturing
+// process's runtime identity (so scraped snapshots describe the node).
 func (r *Registry) Snapshot() *Snapshot {
 	r.mu.Lock()
 	ordered := append([]metric(nil), r.ordered...)
 	r.mu.Unlock()
-	s := &Snapshot{TakenAt: time.Now()}
+	info := ReadRuntimeInfo()
+	s := &Snapshot{TakenAt: time.Now(), Runtime: &info}
 	for _, m := range ordered {
 		switch v := m.(type) {
 		case *Counter:
