@@ -5,6 +5,7 @@
 # block-tracer and health-recorder disabled-path budget gates + a live
 # health-sampler smoke (health-smoke)
 # + a short-mode smoke of the contention benchmark suite + the
+# contention-adaptive scheduler smoke (adaptive-smoke) + the
 # cluster-simulator scenario matrix with its mutation self-check and span-chain
 # oracle (sim-smoke) + a short corpus pass over the fuzz targets (fuzz-smoke).
 # See docs/TESTING.md for the oracle definitions, the scenario matrix, and
@@ -25,11 +26,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race race-all flight-budget trace-budget health-budget health-smoke bench-smoke sim-smoke fuzz-smoke bench bench-go bench-state bench-check telemetry-bench flight-bench trace-demo crit-demo health-demo clean
+.PHONY: all ci vet build test race race-all flight-budget trace-budget health-budget health-smoke bench-smoke adaptive-smoke sim-smoke fuzz-smoke bench bench-go bench-state bench-check telemetry-bench flight-bench trace-demo crit-demo health-demo clean
 
 all: ci
 
-ci: vet build test race flight-budget trace-budget health-budget health-smoke bench-smoke sim-smoke fuzz-smoke
+ci: vet build test race flight-budget trace-budget health-budget health-smoke bench-smoke adaptive-smoke sim-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,7 +42,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/mv/... ./internal/mempool/... ./internal/pipeline/... ./internal/network/... ./internal/telemetry/... ./internal/flight/... ./internal/trace/... ./internal/health/... ./internal/trie/... ./internal/state/...
+	$(GO) test -race ./internal/adaptive/... ./internal/core/... ./internal/mv/... ./internal/mempool/... ./internal/pipeline/... ./internal/network/... ./internal/telemetry/... ./internal/flight/... ./internal/trace/... ./internal/health/... ./internal/trie/... ./internal/state/...
 
 # Race detector over the *entire* module, cluster simulator included. Slower
 # than `race`; run before merging concurrency changes.
@@ -78,12 +79,20 @@ bench-smoke:
 	$(GO) test -short -run 'TestContentionSmoke|TestStateCommitSmoke' ./internal/bench/
 	$(GO) test -short -count=1 -run 'TestMVSmoke' ./internal/core/
 
+# Contention-adaptive scheduler gate: the serial-lane / commutative-merge
+# torture (three chained hotspot blocks per engine, serializability-checked
+# against a serial replay) plus the short adaptive smoke, both engines.
+adaptive-smoke:
+	$(GO) test -count=1 -run 'TestAdaptiveLaneTorture|TestAdaptiveSmoke' ./internal/core/
+	$(GO) test -count=1 ./internal/adaptive/
+
 # Cluster-simulator gate: every fault scenario (9) at 4 seeds under BOTH
 # proposer engines (TestScenarioMatrix = occ-wsi, TestScenarioMatrixMVSTM =
-# mv-stm), all five oracles checked per run (serializability, parity,
-# pipeline-safety, corruption-detection, span-chain completeness),
+# mv-stm, TestScenarioMatrixAdaptive = both engines with the contention
+# controller attached), all five oracles checked per run (serializability,
+# parity, pipeline-safety, corruption-detection, span-chain completeness),
 # digest-determinism double-runs, and the seeded-bug mutation self-check.
-# A failing run prints `bpbench -exp sim -scenario S -seed N -engine E` to
+# A failing run prints `bpbench -exp sim -scenario S -seed N -engine E [-adaptive]` to
 # replay it exactly.
 sim-smoke:
 	$(GO) test -count=1 -run 'TestScenarioMatrix|TestDigestDeterminism|TestMutationSelfCheck|TestTraceSpansComplete' ./internal/sim/

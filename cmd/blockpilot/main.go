@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"blockpilot/internal/blockdb"
+	"blockpilot/internal/adaptive"
 	"blockpilot/internal/chain"
 	"blockpilot/internal/consensus"
 	"blockpilot/internal/core"
@@ -45,12 +46,13 @@ import (
 )
 
 type node struct {
-	name  string
-	chain *chain.Chain
-	pipe  *pipeline.Pipeline
-	net   *network.Node
-	seen  int // blocks validated
-	mu    sync.Mutex
+	name     string
+	chain    *chain.Chain
+	pipe     *pipeline.Pipeline
+	net      *network.Node
+	adaptive *adaptive.Controller // per-proposer contention controller (-adaptive)
+	seen     int                  // blocks validated
+	mu       sync.Mutex
 }
 
 func main() {
@@ -59,6 +61,7 @@ func main() {
 	validators := flag.Int("validators", 2, "validator-only nodes")
 	threads := flag.Int("threads", 8, "execution threads per node")
 	engineFlag := flag.String("engine", core.EngineOCCWSI, "proposer execution engine: occ-wsi (abort+retry) or mv-stm (Block-STM multi-version)")
+	adaptiveOn := flag.Bool("adaptive", false, "enable contention-adaptive scheduling on proposers: hot-key serial lane, commutative credit merge, abort-aware mempool ordering")
 	stripes := flag.Int("stripes", 0, "proposer MVState lock stripes (0 = default, 1 = single-lock ablation)")
 	popBatch := flag.Int("pop-batch", 0, "transactions claimed from the mempool per worker trip (0 = default)")
 	forkProb := flag.Float64("fork-prob", 0.35, "per-round fork probability")
@@ -175,7 +178,14 @@ func main() {
 	}
 	proposerNodes := make(map[types.Address]*node, *proposers)
 	for i, id := range ids {
-		proposerNodes[id] = addNode(fmt.Sprintf("proposer-%d", i))
+		pn := addNode(fmt.Sprintf("proposer-%d", i))
+		if *adaptiveOn {
+			// One controller per proposer for the process lifetime: the
+			// contention window is proposer-local state that persists
+			// across rounds, like the mempool it schedules.
+			pn.adaptive = adaptive.New(adaptive.Config{})
+		}
+		proposerNodes[id] = pn
 	}
 	for i := 0; i < *validators; i++ {
 		addNode(fmt.Sprintf("validator-%d", i))
@@ -249,6 +259,7 @@ func main() {
 				Stripes:  *stripes,
 				PopBatch: *popBatch,
 				Node:     pn.name,
+				Adaptive: pn.adaptive,
 			}, params)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "propose: %v\n", err)

@@ -52,6 +52,7 @@ func main() {
 	quick := flag.Bool("quick", false, "contention: use the reduced CI-smoke workload")
 	commitWorkers := flag.Int("commit-workers", 0, "state commit & root hashing workers at every seal/verify site (0 = auto, 1 = serial ablation)")
 	engine := flag.String("engine", core.EngineOCCWSI, "sim: proposer execution engine ("+strings.Join(core.Engines(), "|")+"); contention always sweeps both")
+	adaptiveOn := flag.Bool("adaptive", false, "sim: attach the contention-adaptive scheduler to the canonical proposer; contention always sweeps on and off")
 	scenario := flag.String("scenario", "all", "sim: fault scenario ("+strings.Join(sim.Scenarios(), "|")+") or \"all\"")
 	simHeights := flag.Int("sim-heights", 0, "sim: canonical blocks per run (0 = scenario default)")
 	simValidators := flag.Int("sim-validators", 0, "sim: validator nodes per run (0 = scenario default)")
@@ -229,6 +230,7 @@ func main() {
 				cfg.Validators = *simValidators
 			}
 			cfg.Engine = *engine
+			cfg.Adaptive = *adaptiveOn
 			cfg.MutationCheck = *simMutation
 			rep, err := sim.Run(cfg)
 			fatalIf(err)

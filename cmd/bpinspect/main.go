@@ -69,6 +69,9 @@ func main() {
 		case "health":
 			healthMain(os.Args[2:])
 			return
+		case "adaptive":
+			adaptiveMain(os.Args[2:])
+			return
 		}
 	}
 	blocks := flag.Int("blocks", 2, "blocks to inspect")

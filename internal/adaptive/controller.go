@@ -1,0 +1,272 @@
+// Package adaptive closes the flight-recorder loop (ISSUE 9, the NEMO
+// direction from PAPERS.md): a contention controller that consumes a
+// *windowed* (exponentially decaying) view of the abort-attribution stream —
+// the same hot-key / hot-sender heavy-hitter sketches the flight recorder
+// keeps, plus per-stripe abort counters — and feeds three online scheduling
+// decisions back into the proposer:
+//
+//  1. Hot-key serial lane: transactions whose static access hints (sender
+//     and recipient accounts) intersect the current hot set are diverted
+//     from the parallel worker pool into one dedicated serial lane ordered
+//     by gas price, so they commit without speculative aborts while cold
+//     transactions keep full parallelism. Both engines wire the lane the
+//     same way (OCC-WSI routes popped hot txs to a lane goroutine; MV-STM
+//     runs the hot suffix of each claim round at one thread), so the
+//     -engine flag remains a clean ablation.
+//  2. Commutative merge: pure balance credits to a hot account are folded
+//     through a per-block delta accumulator (CreditPool) and materialized
+//     once at seal, eliminating the hot-account conflict entirely — the
+//     same trick the chain already plays with coinbase fees (DESIGN.md §4).
+//  3. Abort-aware mempool ordering: internal/mempool learns a per-sender
+//     abort EWMA from requeue events and de-prioritizes repeat aborters
+//     (bounded demotion tiers + event-driven decay, so nothing is parked
+//     forever). The controller only switches the policy on; the pool owns
+//     the bookkeeping.
+//
+// Everything is off by default and sits behind ProposerConfig.Adaptive /
+// the -adaptive flag. One Controller persists across blocks (the window is
+// the whole point); BlockStart decays the sketches and republishes the hot
+// set as an atomic pointer, so the per-transaction queries on the proposer
+// hot path are one atomic load plus two map probes, lock-free.
+package adaptive
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"blockpilot/internal/flight"
+	"blockpilot/internal/telemetry"
+	"blockpilot/internal/types"
+)
+
+// Config sizes the controller. The zero value selects every default.
+type Config struct {
+	// TopK is the capacity of the windowed hot-key/hot-sender sketches
+	// (0 = flight.DefaultTopK).
+	TopK int
+	// HotKeys / HotSenders bound how many top sketch entries drive the
+	// scheduling decisions each block (0 = DefaultHotN). Small on purpose:
+	// the serial lane must stay a lane, not become the block.
+	HotKeys    int
+	HotSenders int
+	// MinCount is the windowed abort count a sketch entry needs before it
+	// is considered hot (0 = DefaultMinCount). Below it the controller
+	// publishes an empty hot set and the proposer runs exactly as with
+	// adaptive off — no contention, no intervention.
+	MinCount uint64
+	// Decay is the per-block sketch decay factor in (0, 1)
+	// (0 = DefaultDecay). Counts halve per block at the default, so the
+	// window is effectively the last ~log₂(count) blocks.
+	Decay float64
+	// DisableMerge / DisableDemotion switch off decisions (2) and (3) for
+	// ablations; the serial lane is the controller's reason to exist and
+	// has no separate switch.
+	DisableMerge    bool
+	DisableDemotion bool
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultHotN     = 8
+	DefaultMinCount = 2
+)
+
+// DefaultDecay halves every windowed count per block.
+const DefaultDecay = 0.5
+
+func (c *Config) normalize() {
+	if c.TopK <= 0 {
+		c.TopK = flight.DefaultTopK
+	}
+	if c.HotKeys <= 0 {
+		c.HotKeys = DefaultHotN
+	}
+	if c.HotSenders <= 0 {
+		c.HotSenders = DefaultHotN
+	}
+	if c.MinCount == 0 {
+		c.MinCount = DefaultMinCount
+	}
+	if c.Decay <= 0 || c.Decay >= 1 {
+		c.Decay = DefaultDecay
+	}
+}
+
+// HotSet is one published scheduling decision table: the accounts whose
+// transactions divert to the serial lane (and qualify for commutative
+// merge), plus the sketch rows behind them for reporting.
+type HotSet struct {
+	// Accounts maps every hot account address: hot-key owners (an abort on
+	// a contract's storage slot marks the contract — any tx calling it is
+	// lane traffic) and hot senders.
+	Accounts map[types.Address]struct{}
+	// Keys / Senders are the windowed sketch rows the set was built from.
+	Keys    []flight.Counted[types.StateKey]
+	Senders []flight.Counted[types.Address]
+	// WindowAborts is the decayed abort mass in the window at publish time.
+	WindowAborts uint64
+}
+
+// Controller is the per-proposer contention controller. One instance
+// persists across blocks; all methods are safe for concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu           sync.Mutex // guards the sketches + windowed counters
+	keys         *flight.TopK[types.StateKey]
+	senders      *flight.TopK[types.Address]
+	stripeAborts [flight.StripeSlots]float64
+	windowAborts float64
+
+	hot atomic.Pointer[HotSet]
+
+	blocks        atomic.Uint64
+	laneTxs       atomic.Uint64
+	mergedCredits atomic.Uint64
+	abortsSeen    atomic.Uint64
+}
+
+// New returns a controller with cfg (zero value = defaults).
+func New(cfg Config) *Controller {
+	cfg.normalize()
+	return &Controller{
+		cfg:     cfg,
+		keys:    flight.NewTopK[types.StateKey](cfg.TopK),
+		senders: flight.NewTopK[types.Address](cfg.TopK),
+	}
+}
+
+// Config returns the normalized configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// MergeEnabled reports whether commutative credit merging is on.
+func (c *Controller) MergeEnabled() bool { return !c.cfg.DisableMerge }
+
+// DemotionEnabled reports whether abort-aware mempool ordering is on.
+func (c *Controller) DemotionEnabled() bool { return !c.cfg.DisableDemotion }
+
+// NoteAbort feeds one conflict abort into the windowed sketches: the
+// aborting sender, the conflicting key and its MVState stripe (-1 when the
+// engine has no stripe attribution, e.g. MV-STM validation fails). Called
+// by both engines right beside flight.Abort, so the controller works with
+// the flight recorder disabled.
+func (c *Controller) NoteAbort(sender types.Address, key types.StateKey, stripe int) {
+	c.abortsSeen.Add(1)
+	c.mu.Lock()
+	c.keys.Observe(key)
+	c.senders.Observe(sender)
+	if stripe >= 0 && stripe < flight.StripeSlots {
+		c.stripeAborts[stripe]++
+	}
+	c.windowAborts++
+	c.mu.Unlock()
+}
+
+// SeedFromFlight warm-starts the windowed sketches from an installed flight
+// recorder's run-lifetime attribution, capped per entry so stale history
+// cannot outweigh the live window for more than a few blocks of decay.
+func (c *Controller) SeedFromFlight(rec *flight.Recorder) {
+	if rec == nil {
+		return
+	}
+	const seedCap = 16
+	obs := func(count uint64) uint64 {
+		if count > seedCap {
+			return seedCap
+		}
+		return count
+	}
+	c.mu.Lock()
+	for _, k := range rec.HotKeySketch(c.cfg.TopK) {
+		for i := uint64(0); i < obs(k.Count); i++ {
+			c.keys.Observe(k.Key)
+		}
+	}
+	for _, s := range rec.HotSenderSketch(c.cfg.TopK) {
+		for i := uint64(0); i < obs(s.Count); i++ {
+			c.senders.Observe(s.Key)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// BlockStart rolls the window forward one block: decay the sketches and the
+// stripe counters, rebuild the hot set from the surviving heavy hitters,
+// and publish it atomically for the proposer's per-transaction queries.
+// Called by Propose at the top of every block (both engines).
+func (c *Controller) BlockStart() {
+	c.blocks.Add(1)
+	c.mu.Lock()
+	c.keys.Decay(c.cfg.Decay)
+	c.senders.Decay(c.cfg.Decay)
+	for i := range c.stripeAborts {
+		c.stripeAborts[i] *= c.cfg.Decay
+	}
+	c.windowAborts *= c.cfg.Decay
+
+	hs := &HotSet{
+		Accounts:     make(map[types.Address]struct{}),
+		Keys:         c.keys.Top(c.cfg.HotKeys),
+		Senders:      c.senders.Top(c.cfg.HotSenders),
+		WindowAborts: uint64(c.windowAborts),
+	}
+	c.mu.Unlock()
+
+	for _, k := range hs.Keys {
+		if k.Count >= c.cfg.MinCount {
+			hs.Accounts[k.Key.Addr] = struct{}{}
+		}
+	}
+	for _, s := range hs.Senders {
+		if s.Count >= c.cfg.MinCount {
+			hs.Accounts[s.Key] = struct{}{}
+		}
+	}
+	c.hot.Store(hs)
+	telemetry.AdaptiveHotAccounts.Set(int64(len(hs.Accounts)))
+}
+
+// Hot returns the published hot set (nil before the first BlockStart).
+func (c *Controller) Hot() *HotSet { return c.hot.Load() }
+
+// IsHot reports whether tx's static access hints — sender and recipient
+// account — intersect the hot set: lane traffic. One atomic load and at
+// most two map probes; never blocks the worker hot path.
+func (c *Controller) IsHot(tx *types.Transaction) bool {
+	hs := c.hot.Load()
+	if hs == nil || len(hs.Accounts) == 0 {
+		return false
+	}
+	if _, ok := hs.Accounts[tx.From]; ok {
+		return true
+	}
+	if !tx.CreateContract {
+		if _, ok := hs.Accounts[tx.To]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// HotAccount reports whether addr itself is in the hot set (the commutative
+// merge eligibility probe).
+func (c *Controller) HotAccount(addr types.Address) bool {
+	hs := c.hot.Load()
+	if hs == nil {
+		return false
+	}
+	_, ok := hs.Accounts[addr]
+	return ok
+}
+
+// NoteLaneTx counts one transaction processed by the serial lane.
+func (c *Controller) NoteLaneTx() {
+	c.laneTxs.Add(1)
+	telemetry.AdaptiveSerialLaneTxs.Inc()
+}
+
+// NoteMerge counts one commutatively merged credit.
+func (c *Controller) NoteMerge() {
+	c.mergedCredits.Add(1)
+	telemetry.AdaptiveMergedCredits.Inc()
+}

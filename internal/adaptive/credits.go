@@ -1,0 +1,91 @@
+package adaptive
+
+import (
+	"sort"
+	"sync"
+
+	"blockpilot/internal/state"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// CreditPool accumulates commutative balance credits to hot accounts for one
+// block. Instead of each pure transfer writing `balance(to) += v` through
+// the versioned state — where every such write conflicts with every other —
+// the proposer strips the recipient from the transaction's change set, adds
+// the value here, and materializes the summed delta exactly once at seal,
+// before FinalizationChange (the coinbase itself can be hot). Addition
+// commutes, so the summed result equals any serial interleaving of the
+// individual credits; this is the same aggregation the chain already
+// performs for coinbase fees (DESIGN.md §4).
+type CreditPool struct {
+	mu     sync.Mutex
+	deltas map[types.Address]*uint256.Int
+	n      uint64
+}
+
+// NewCreditPool returns an empty pool.
+func NewCreditPool() *CreditPool {
+	return &CreditPool{deltas: make(map[types.Address]*uint256.Int)}
+}
+
+// Add folds one credit of value to addr into the pool. Safe for concurrent
+// use; the lock cost is irrelevant next to a commit.
+func (p *CreditPool) Add(addr types.Address, value *uint256.Int) {
+	p.mu.Lock()
+	d, ok := p.deltas[addr]
+	if !ok {
+		d = new(uint256.Int)
+		p.deltas[addr] = d
+	}
+	d.Add(d, value)
+	p.n++
+	p.mu.Unlock()
+}
+
+// Credits returns how many individual credits were folded in.
+func (p *CreditPool) Credits() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// Empty reports whether the pool holds no deltas.
+func (p *CreditPool) Empty() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.deltas) == 0
+}
+
+// Materialize turns the accumulated deltas into a change set against r: for
+// each credited account, balance = r.Balance(addr) + delta with the nonce
+// carried through unchanged. r must already reflect every committed
+// transaction of the block (the flattened block change set applied over the
+// parent), so a hot account that was also written normally — e.g. it sent a
+// transaction too — picks up those effects first.
+func (p *CreditPool) Materialize(r state.Reader) *state.ChangeSet {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.deltas) == 0 {
+		return nil
+	}
+	cs := state.NewChangeSet()
+	// Deterministic iteration keeps change-set construction reproducible;
+	// the merge itself is order-free (disjoint keys).
+	addrs := make([]types.Address, 0, len(p.deltas))
+	for addr := range p.deltas {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return string(addrs[i][:]) < string(addrs[j][:])
+	})
+	for _, addr := range addrs {
+		bal := r.Balance(addr)
+		bal.Add(&bal, p.deltas[addr])
+		cs.Accounts[addr] = &state.AccountChange{
+			Nonce:   r.Nonce(addr),
+			Balance: bal,
+		}
+	}
+	return cs
+}

@@ -1,0 +1,71 @@
+package adaptive
+
+import (
+	"container/heap"
+
+	"blockpilot/internal/types"
+)
+
+// TxQueue is the serial lane's priority queue: gas price descending, then
+// nonce ascending, then hash — the same total order the mempool's price
+// heap uses, so diverting a transaction through the lane preserves the
+// mempool's priority semantics, just on one thread. The queue is NOT
+// internally synchronized: the OCC-WSI proposer guards it with the worker
+// pool's idle mutex (lane traffic is a small fraction of the block by
+// construction), and the MV-STM proposer partitions rounds on a single
+// goroutine.
+type TxQueue struct {
+	h txHeap
+}
+
+// Push adds tx to the queue.
+func (q *TxQueue) Push(tx *types.Transaction) { heap.Push(&q.h, tx) }
+
+// Pop removes and returns the highest-priority transaction (nil if empty).
+func (q *TxQueue) Pop() *types.Transaction {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*types.Transaction)
+}
+
+// Len returns how many transactions are queued.
+func (q *TxQueue) Len() int { return len(q.h) }
+
+// Drain removes and returns every queued transaction in priority order.
+func (q *TxQueue) Drain() []*types.Transaction {
+	out := make([]*types.Transaction, 0, len(q.h))
+	for len(q.h) > 0 {
+		out = append(out, heap.Pop(&q.h).(*types.Transaction))
+	}
+	return out
+}
+
+type txHeap []*types.Transaction
+
+func (h txHeap) Len() int { return len(h) }
+
+func (h txHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if c := a.GasPrice.Cmp(&b.GasPrice); c != 0 {
+		return c > 0
+	}
+	if a.Nonce != b.Nonce {
+		return a.Nonce < b.Nonce
+	}
+	ah, bh := a.Hash(), b.Hash()
+	return string(ah[:]) < string(bh[:])
+}
+
+func (h txHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *txHeap) Push(x any) { *h = append(*h, x.(*types.Transaction)) }
+
+func (h *txHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tx := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return tx
+}

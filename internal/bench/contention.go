@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blockpilot/internal/adaptive"
 	"blockpilot/internal/chain"
 	"blockpilot/internal/core"
 	"blockpilot/internal/mempool"
@@ -123,6 +124,7 @@ type ProposePoint struct {
 type EnginePoint struct {
 	Workload      string  `json:"workload"` // "uniform" | "zipf" | "hotspot"
 	Engine        string  `json:"engine"`
+	Adaptive      bool    `json:"adaptive,omitempty"` // contention controller attached
 	Threads       int     `json:"threads"`
 	Txs           int     `json:"txs"`
 	Aborts        int     `json:"aborts"`
@@ -157,6 +159,24 @@ type ContentionResult struct {
 	// delta (must be negative: MV re-executes less than OCC aborts).
 	MVZipfSpeedupAt4      float64 `json:"mv_vs_occ_zipf_speedup_at_4_threads,omitempty"`
 	MVZipfAbortRatioDelta float64 `json:"mv_vs_occ_zipf_abort_ratio_delta_at_4_threads,omitempty"`
+
+	// AdaptiveZipfSpeedupAt4 is adaptive-on ÷ adaptive-off OCC-WSI
+	// commits/sec at 4 threads on the Zipfian engine-ablation workload (the
+	// PR-9 acceptance number), and AdaptiveAbortRatioDelta the (on − off)
+	// wasted-work-per-commit delta at 4 threads on the hotspot workload
+	// (the controller's whole point: should be negative — hot transactions
+	// that ride the serial lane or merge as credits never abort).
+	AdaptiveZipfSpeedupAt4  float64 `json:"adaptive_zipf_speedup_at_4_threads,omitempty"`
+	AdaptiveAbortRatioDelta float64 `json:"adaptive_abort_ratio_delta_at_4_threads,omitempty"`
+
+	// AdaptiveZipfSpeedupBest is adaptive-on ÷ adaptive-off using each side's
+	// BEST OCC-WSI commits/sec over the whole thread sweep (zipf workload).
+	// This — not the at-4 point — is what benchdiff gates: the controller's
+	// feedback loop (hot set decays when the lane succeeds, re-forms when
+	// aborts return) makes any single thread point bistable run-to-run on a
+	// contended host, while the best over the sweep is stable. Same
+	// best-over-configurations philosophy as every other gated headline.
+	AdaptiveZipfSpeedupBest float64 `json:"adaptive_zipf_speedup_best,omitempty"`
 
 	// Env is the run environment (Go version, peak heap/goroutines); benchdiff
 	// uses it to flag environment drift between trajectory files.
@@ -386,8 +406,11 @@ func engineWorkload(o ContentionOptions, kind string) ([]*types.Transaction, *st
 }
 
 // runEnginePoint packs the contended block with one engine at one thread
-// count, reporting commit throughput and the wasted-work ratio.
-func runEnginePoint(o ContentionOptions, kind, engine string, threads, repeats int) (EnginePoint, error) {
+// count, reporting commit throughput and the wasted-work ratio. With
+// adaptiveOn one contention controller persists across the repeats (the
+// production shape: repeat 1 feeds the window, later repeats schedule
+// around it), so best-time captures the warmed controller.
+func runEnginePoint(o ContentionOptions, kind, engine string, threads, repeats int, adaptiveOn bool) (EnginePoint, error) {
 	// Each point starts from the same fully-speculative state; the repeats
 	// then measure the engine with its cross-block window carry warmed up
 	// (best time and the last repeat's abort count are both steady-state).
@@ -395,6 +418,10 @@ func runEnginePoint(o ContentionOptions, kind, engine string, threads, repeats i
 	txs, st, params := engineWorkload(o, kind)
 	parentHeader := &types.Header{Number: 0, StateRoot: st.Root(), GasLimit: params.GasLimit}
 
+	var ctrl *adaptive.Controller
+	if adaptiveOn {
+		ctrl = adaptive.New(adaptive.Config{})
+	}
 	var best time.Duration = 1<<63 - 1
 	var lastRes *core.ProposeResult
 	for r := 0; r < repeats; r++ {
@@ -402,7 +429,7 @@ func runEnginePoint(o ContentionOptions, kind, engine string, threads, repeats i
 		pool.AddAll(txs)
 		startR := time.Now()
 		res, err := core.Propose(st, parentHeader, pool, core.ProposerConfig{
-			Engine: engine, Threads: threads,
+			Engine: engine, Threads: threads, Adaptive: ctrl,
 			Coinbase: types.HexToAddress("0xc01bbace"), Time: 1,
 		}, params)
 		if err != nil {
@@ -416,6 +443,7 @@ func runEnginePoint(o ContentionOptions, kind, engine string, threads, repeats i
 	p := EnginePoint{
 		Workload:  kind,
 		Engine:    engine,
+		Adaptive:  adaptiveOn,
 		Threads:   threads,
 		Txs:       lastRes.Committed,
 		Aborts:    lastRes.Aborts,
@@ -499,16 +527,32 @@ func RunContention(o ContentionOptions) (*ContentionResult, error) {
 		}
 		type ePoint struct{ cps, ratio float64 }
 		zipfAt4 := map[string]ePoint{}
+		adZipfAt4 := map[bool]ePoint{}    // occ-wsi, zipf, 4 threads, by adaptive
+		adHotspotAt4 := map[bool]ePoint{} // occ-wsi, hotspot, 4 threads, by adaptive
+		adZipfBest := map[bool]float64{}  // occ-wsi, zipf, best over threads, by adaptive
 		for _, kind := range []string{"uniform", "zipf", "hotspot"} {
 			for _, engine := range core.Engines() {
 				for _, threads := range o.Threads {
-					p, err := runEnginePoint(o, kind, engine, threads, repeats)
-					if err != nil {
-						return nil, fmt.Errorf("contention engine (%s %s threads=%d): %w", kind, engine, threads, err)
-					}
-					res.Engine = append(res.Engine, p)
-					if kind == "zipf" && threads == 4 {
-						zipfAt4[engine] = ePoint{p.CommitsPerSec, p.AbortRatio}
+					for _, adaptiveOn := range []bool{false, true} {
+						p, err := runEnginePoint(o, kind, engine, threads, repeats, adaptiveOn)
+						if err != nil {
+							return nil, fmt.Errorf("contention engine (%s %s threads=%d adaptive=%v): %w", kind, engine, threads, adaptiveOn, err)
+						}
+						res.Engine = append(res.Engine, p)
+						if kind == "zipf" && threads == 4 && !adaptiveOn {
+							zipfAt4[engine] = ePoint{p.CommitsPerSec, p.AbortRatio}
+						}
+						if engine == core.EngineOCCWSI && threads == 4 {
+							if kind == "zipf" {
+								adZipfAt4[adaptiveOn] = ePoint{p.CommitsPerSec, p.AbortRatio}
+							}
+							if kind == "hotspot" {
+								adHotspotAt4[adaptiveOn] = ePoint{p.CommitsPerSec, p.AbortRatio}
+							}
+						}
+						if engine == core.EngineOCCWSI && kind == "zipf" && p.CommitsPerSec > adZipfBest[adaptiveOn] {
+							adZipfBest[adaptiveOn] = p.CommitsPerSec
+						}
 					}
 				}
 			}
@@ -518,6 +562,19 @@ func RunContention(o ContentionOptions) (*ContentionResult, error) {
 				res.MVZipfSpeedupAt4 = mv.cps / occ.cps
 				res.MVZipfAbortRatioDelta = mv.ratio - occ.ratio
 			}
+		}
+		if off, ok := adZipfAt4[false]; ok && off.cps > 0 {
+			if on, ok := adZipfAt4[true]; ok {
+				res.AdaptiveZipfSpeedupAt4 = on.cps / off.cps
+			}
+		}
+		if off, ok := adHotspotAt4[false]; ok {
+			if on, ok := adHotspotAt4[true]; ok {
+				res.AdaptiveAbortRatioDelta = on.ratio - off.ratio
+			}
+		}
+		if adZipfBest[false] > 0 {
+			res.AdaptiveZipfSpeedupBest = adZipfBest[true] / adZipfBest[false]
 		}
 	}
 	res.Env = CaptureRunEnv()
@@ -571,14 +628,26 @@ func (r *ContentionResult) Render() string {
 	if len(r.Engine) > 0 {
 		fmt.Fprintf(&b, "\nEngine ablation — OCC-WSI vs MV-STM on contended transfer blocks\n")
 		fmt.Fprintf(&b, "(aborts = occ aborts / mv re-executions; ratio = wasted work per commit):\n")
-		fmt.Fprintf(&b, "  %-8s %-8s %8s %12s %10s %12s\n", "workload", "engine", "threads", "commits/s", "block ms", "abort ratio")
+		fmt.Fprintf(&b, "  %-8s %-8s %-8s %8s %12s %10s %12s\n", "workload", "engine", "adaptive", "threads", "commits/s", "block ms", "abort ratio")
 		for _, p := range r.Engine {
-			fmt.Fprintf(&b, "  %-8s %-8s %8d %12.0f %10.1f %12.3f\n",
-				p.Workload, p.Engine, p.Threads, p.CommitsPerSec, p.ElapsedMs, p.AbortRatio)
+			ad := "off"
+			if p.Adaptive {
+				ad = "on"
+			}
+			fmt.Fprintf(&b, "  %-8s %-8s %-8s %8d %12.0f %10.1f %12.3f\n",
+				p.Workload, p.Engine, ad, p.Threads, p.CommitsPerSec, p.ElapsedMs, p.AbortRatio)
 		}
 		if r.MVZipfSpeedupAt4 > 0 {
 			fmt.Fprintf(&b, "  mv-stm vs occ-wsi at 4 threads (zipf): %.2fx commits/s, abort-ratio delta %+.3f\n",
 				r.MVZipfSpeedupAt4, r.MVZipfAbortRatioDelta)
+		}
+		if r.AdaptiveZipfSpeedupAt4 > 0 {
+			fmt.Fprintf(&b, "  adaptive on vs off, occ-wsi at 4 threads: %.2fx commits/s (zipf), abort-ratio delta %+.3f (hotspot)\n",
+				r.AdaptiveZipfSpeedupAt4, r.AdaptiveAbortRatioDelta)
+		}
+		if r.AdaptiveZipfSpeedupBest > 0 {
+			fmt.Fprintf(&b, "  adaptive on vs off, occ-wsi best-over-threads (zipf, gated): %.2fx commits/s\n",
+				r.AdaptiveZipfSpeedupBest)
 		}
 	}
 	return b.String()

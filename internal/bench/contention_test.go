@@ -59,7 +59,8 @@ func TestContentionSmoke(t *testing.T) {
 			t.Fatalf("propose point missing engine: %+v", p)
 		}
 	}
-	if want := 3 * len(core.Engines()) * len(o.Threads); len(res.Engine) != want {
+	// 3 workloads × engines × threads × adaptive {off, on}.
+	if want := 3 * len(core.Engines()) * len(o.Threads) * 2; len(res.Engine) != want {
 		t.Fatalf("Engine points = %d, want %d", len(res.Engine), want)
 	}
 	for _, p := range res.Engine {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blockpilot/internal/adaptive"
 	"blockpilot/internal/chain"
 	"blockpilot/internal/flight"
 	"blockpilot/internal/health"
@@ -52,6 +53,13 @@ type ProposerConfig struct {
 	// Tracer injects a block-trace collector; nil falls back to the
 	// process-global one (trace.Active).
 	Tracer *trace.Collector
+	// Adaptive, when set, turns on contention-adaptive scheduling (-adaptive
+	// flag, ISSUE 9): the controller's hot set routes transactions into the
+	// serial lane, qualifies pure credits for commutative merge, and its
+	// demotion policy drives the pool's abort-aware ordering. One controller
+	// persists across blocks — its decaying window is the whole point. Nil
+	// (the default) runs both engines stock.
+	Adaptive *adaptive.Controller
 }
 
 // CoarsenAccessSet maps every key of an access set to its account-level key
@@ -159,6 +167,24 @@ func proposeOCC(parent *state.Snapshot, parentHeader *types.Header, pool *mempoo
 	bc := chain.BlockContextFor(header, params.ChainID)
 	mv := NewMVStateStripes(parent, cfg.Stripes)
 
+	// Contention-adaptive scheduling: roll the controller's window forward
+	// and configure the pool's abort-aware ordering for this block. With no
+	// controller every adaptive branch below is dead and the engine runs
+	// stock — SetAbortAware(false) also restores a pool a previous adaptive
+	// run left demoting.
+	ctrl := cfg.Adaptive
+	pool.SetAbortAware(ctrl != nil && ctrl.DemotionEnabled())
+	var credits *adaptive.CreditPool
+	if ctrl != nil {
+		ctrl.BlockStart()
+		if ctrl.DemotionEnabled() {
+			pool.AgeAborts(ctrl.Config().Decay)
+		}
+		if ctrl.MergeEnabled() {
+			credits = adaptive.NewCreditPool()
+		}
+	}
+
 	var (
 		mu           sync.Mutex // guards committed + fees only
 		committed    []committedTx
@@ -195,14 +221,16 @@ func proposeOCC(parent *state.Snapshot, parentHeader *types.Header, pool *mempoo
 		}
 	}
 
-	// processOne executes and tries to commit a single claimed transaction.
-	// worker is the flight-recorder lane id of the calling goroutine.
-	processOne := func(worker int, tx *types.Transaction) {
+	// processOne executes and tries to commit a single claimed transaction,
+	// reporting whether it committed. worker is the flight-recorder lane id
+	// of the calling goroutine (the serial lane uses cfg.Threads).
+	processOne := func(worker int, tx *types.Transaction) bool {
 		flight.ExecStart(worker, tx, height)
 		defer flight.ExecEnd(worker, tx, height)
 		v := mv.Version()
 		telemetry.ProposerSnapshotBuilds.Inc()
-		overlay := state.NewOverlay(mv.View(v), v)
+		view := mv.View(v)
+		overlay := state.NewOverlay(view, v)
 		receipt, fee, err := chain.ApplyTransaction(overlay, tx, bc)
 		if err != nil {
 			switch {
@@ -217,7 +245,7 @@ func proposeOCC(parent *state.Snapshot, parentHeader *types.Header, pool *mempoo
 				telemetry.ProposerDrops.Inc()
 				flight.Drop(worker, tx, height, false)
 			}
-			return
+			return false
 		}
 
 		// Gas reservation: claim the receipt's gas with a CAS loop so the
@@ -230,7 +258,7 @@ func proposeOCC(parent *state.Snapshot, parentHeader *types.Header, pool *mempoo
 				gasFull.Store(true)
 				pool.Requeue(tx) // leave it for the next block
 				wake()           // unblock idle workers so they observe gasFull
-				return
+				return false
 			}
 			if gasUsed.CompareAndSwap(cur, cur+receipt.GasUsed) {
 				break
@@ -240,8 +268,25 @@ func proposeOCC(parent *state.Snapshot, parentHeader *types.Header, pool *mempoo
 		if cfg.AccountLevelKeys {
 			commitView = CoarsenAccessSet(commitView)
 		}
-		version, conflict, ok := mv.TryCommitEx(commitView, overlay.ChangeSet())
+		cs := overlay.ChangeSet()
+		merged := credits != nil && mergeableCredit(ctrl, view, tx, cs)
+		if merged {
+			// The hot recipient leaves the transaction's conflict footprint:
+			// its credit rides the commutative pool instead of the reserve
+			// table, so N transfers to one hot account stop aborting each
+			// other. The sealed profile below keeps the FULL access set, so
+			// the validator still serializes merged txs within components.
+			key := types.AccountKey(tx.To)
+			delete(commitView.Reads, key)
+			delete(commitView.Writes, key)
+			delete(cs.Accounts, tx.To)
+		}
+		version, conflict, ok := mv.TryCommitEx(commitView, cs)
 		if ok {
+			if merged {
+				credits.Add(tx.To, &tx.Value)
+				ctrl.NoteMerge()
+			}
 			mu.Lock()
 			fees.Add(&fees, fee)
 			committed = append(committed, committedTx{
@@ -255,13 +300,65 @@ func proposeOCC(parent *state.Snapshot, parentHeader *types.Header, pool *mempoo
 			telemetry.ProposerCommits.Inc()
 			health.Heartbeat(health.CompProposer)
 			flight.Commit(worker, tx, version, height)
-		} else {
-			gasUsed.Add(^(receipt.GasUsed - 1)) // release the reservation
-			aborts.Add(1)
-			telemetry.ProposerAborts.Inc()
-			flight.Abort(worker, tx, conflict.Key, conflict.Winner, conflict.Stripe, height)
-			requeueOrDrop(worker, pool, tx, &retries, cfg.MaxRetries, height, &dropped, &droppedRetry)
+			return true
 		}
+		gasUsed.Add(^(receipt.GasUsed - 1)) // release the reservation
+		aborts.Add(1)
+		telemetry.ProposerAborts.Inc()
+		flight.Abort(worker, tx, conflict.Key, conflict.Winner, conflict.Stripe, height)
+		if ctrl != nil {
+			ctrl.NoteAbort(tx.From, conflict.Key, conflict.Stripe)
+		}
+		requeueOrDrop(worker, pool, tx, &retries, cfg.MaxRetries, height, &dropped, &droppedRetry)
+		return false
+	}
+
+	// Hot-key serial lane: hot transactions detour through one dedicated
+	// processor ordered by gas price, so they commit without speculative
+	// aborts while cold traffic keeps every worker. The queue is guarded by
+	// idleMu (lane traffic is a small slice of the block by construction);
+	// lane-held transactions stay in-flight, so the workers' drained-pool
+	// exit condition keeps holding, and the lane's settle wakes idle workers
+	// like any other retire. laneClosed is set only after every worker has
+	// exited — the lane drains on gasFull but keeps looping until then, so
+	// a late hot diversion is never stranded.
+	var (
+		lane        adaptive.TxQueue // guarded by idleMu
+		laneClosed  bool             // guarded by idleMu
+		laneWg      sync.WaitGroup
+		laneCommits atomic.Int64
+	)
+	laneID := cfg.Threads // flight-recorder lane beyond the worker ids
+	runLane := func() {
+		defer laneWg.Done()
+		for {
+			idleMu.Lock()
+			for lane.Len() == 0 && !laneClosed {
+				idleCond.Wait()
+			}
+			if lane.Len() == 0 {
+				idleMu.Unlock()
+				return // closed and drained
+			}
+			if gasFull.Load() {
+				rest := lane.Drain()
+				idleMu.Unlock()
+				pool.RequeueBatch(rest) // leave them for the next block
+				settle(int64(len(rest)))
+				continue
+			}
+			tx := lane.Pop()
+			idleMu.Unlock()
+			if processOne(laneID, tx) {
+				laneCommits.Add(1)
+			}
+			ctrl.NoteLaneTx()
+			settle(1)
+		}
+	}
+	if ctrl != nil {
+		laneWg.Add(1)
+		go runLane()
 	}
 
 	worker := func(id int) {
@@ -303,6 +400,15 @@ func proposeOCC(parent *state.Snapshot, parentHeader *types.Header, pool *mempoo
 					settle(int64(len(rest)))
 					return
 				}
+				if ctrl != nil && ctrl.IsHot(tx) {
+					// Divert to the serial lane; the tx stays in-flight
+					// (and counted) until the lane settles it.
+					idleMu.Lock()
+					lane.Push(tx)
+					idleCond.Broadcast()
+					idleMu.Unlock()
+					continue
+				}
 				processOne(id, tx)
 				settle(1)
 			}
@@ -318,6 +424,13 @@ func proposeOCC(parent *state.Snapshot, parentHeader *types.Header, pool *mempoo
 		}(i)
 	}
 	wg.Wait()
+	if ctrl != nil {
+		idleMu.Lock()
+		laneClosed = true
+		idleCond.Broadcast()
+		idleMu.Unlock()
+		laneWg.Wait()
+	}
 
 	// Assemble the block in commit (version) order.
 	sortByVersion(committed)
@@ -335,9 +448,18 @@ func proposeOCC(parent *state.Snapshot, parentHeader *types.Header, pool *mempoo
 	}
 
 	// Finalize: aggregate fee + reward credit to the coinbase, then commit.
+	// Merged hot-account credits materialize first — over the accumulated
+	// block state and into the total change set — so FinalizationChange sees
+	// them (the coinbase itself can be hot).
 	total := mv.Flatten()
 	accum := state.NewMemory(parent)
 	accum.ApplyChangeSet(total)
+	if credits != nil {
+		if ccs := credits.Materialize(accum); ccs != nil {
+			accum.ApplyChangeSet(ccs)
+			total.Merge(ccs)
+		}
+	}
 	total.Merge(chain.FinalizationChange(accum, cfg.Coinbase, &fees, params))
 	if tr != nil {
 		scStart = time.Now()
@@ -347,6 +469,13 @@ func proposeOCC(parent *state.Snapshot, parentHeader *types.Header, pool *mempoo
 		scEnd = time.Now()
 	}
 
+	if ctrl != nil {
+		occ := 0.0
+		if len(committed) > 0 {
+			occ = float64(laneCommits.Load()) / float64(len(committed))
+		}
+		telemetry.AdaptiveLaneOccupancy.Set(occ)
+	}
 	telemetry.ProposerBlockTxs.Observe(uint64(len(committed)))
 	header.GasUsed = gasUsed.Load()
 	header.StateRoot = stateRoot
@@ -396,6 +525,36 @@ func requeueOrDrop(worker int, pool *mempool.Pool, tx *types.Transaction, retrie
 	telemetry.ProposerRetries.Inc()
 	flight.Requeue(worker, tx, height)
 	pool.Requeue(tx)
+}
+
+// mergeableCredit reports whether tx is a pure balance credit to a hot
+// account whose effect can ride the commutative credit pool (both engines):
+// a plain transfer — no calldata, no create, no self-send, nonzero value —
+// to a code-free recipient whose only executed change is balance += value
+// with the nonce untouched. The shape is checked against the actual change
+// set, not inferred from the transaction: anything the execution did beyond
+// the plain credit disqualifies it. Balance addition commutes and the
+// sender-side funds check only ever sees a balance ≥ the merged-out true
+// value, so folding the credits and materializing the sum once at seal is
+// final-state-equivalent to any serial interleaving — the same argument
+// that already backs the per-block coinbase fee aggregation (DESIGN.md §4).
+func mergeableCredit(ctrl *adaptive.Controller, view state.Reader, tx *types.Transaction, cs *state.ChangeSet) bool {
+	if tx.CreateContract || len(tx.Data) != 0 || tx.To == tx.From || tx.Value.IsZero() {
+		return false
+	}
+	if !ctrl.HotAccount(tx.To) {
+		return false
+	}
+	chg := cs.Accounts[tx.To]
+	if chg == nil || chg.CodeSet || len(chg.Storage) != 0 {
+		return false
+	}
+	if len(view.Code(tx.To)) != 0 || chg.Nonce != view.Nonce(tx.To) {
+		return false
+	}
+	want := view.Balance(tx.To)
+	want.Add(&want, &tx.Value)
+	return want.Eq(&chg.Balance)
 }
 
 // sortByVersion orders committed txs by their assigned serialization number.

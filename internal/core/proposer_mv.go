@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blockpilot/internal/adaptive"
 	"blockpilot/internal/chain"
 	"blockpilot/internal/flight"
 	"blockpilot/internal/health"
@@ -51,6 +52,10 @@ type mvTxOut struct {
 	fee     *uint256.Int
 	profile *types.TxProfile
 	err     error
+	// merged marks a commutatively merged hot-account credit: the recipient
+	// was stripped from this incarnation's write set and its value must be
+	// folded into the credit pool if (and only if) the tx finalizes.
+	merged bool
 }
 
 // mvSealOrderHook, when set (tests only), observes the claimed transaction
@@ -115,6 +120,21 @@ func proposeMV(parent *state.Snapshot, parentHeader *types.Header, pool *mempool
 	bc := chain.BlockContextFor(header, params.ChainID)
 	height := header.Number
 
+	// Contention-adaptive scheduling: identical setup to the OCC-WSI engine
+	// so -engine stays a clean ablation (see proposeOCC).
+	ctrl := cfg.Adaptive
+	pool.SetAbortAware(ctrl != nil && ctrl.DemotionEnabled())
+	var credits *adaptive.CreditPool
+	if ctrl != nil {
+		ctrl.BlockStart()
+		if ctrl.DemotionEnabled() {
+			pool.AgeAborts(ctrl.Config().Decay)
+		}
+		if ctrl.MergeEnabled() {
+			credits = adaptive.NewCreditPool()
+		}
+	}
+
 	var claimed []*types.Transaction
 	inst := mv.NewInstance(parent, func(idx, worker int, view state.Reader) mv.ExecResult {
 		tx := claimed[idx]
@@ -128,15 +148,36 @@ func proposeMV(parent *state.Snapshot, parentHeader *types.Header, pool *mempool
 			// can revalidate it into existence) but record no change set.
 			return mv.ExecResult{Data: &mvTxOut{err: err}}
 		}
-		return mv.ExecResult{
-			Writes: overlay.ChangeSet(),
-			Data: &mvTxOut{
-				receipt: receipt,
-				fee:     fee,
-				profile: types.ProfileFromAccessSet(overlay.Access(), receipt.GasUsed),
-			},
+		cs := overlay.ChangeSet()
+		out := &mvTxOut{
+			receipt: receipt,
+			fee:     fee,
+			profile: types.ProfileFromAccessSet(overlay.Access(), receipt.GasUsed),
 		}
+		if credits != nil && mergeableCredit(ctrl, view, tx, cs) {
+			// Strip the hot recipient from the write set: its credit rides
+			// the commutative pool, so the version chain on that account
+			// stops invalidating every later reader. Decided per
+			// incarnation; only the final incarnation's flag is credited at
+			// finalize, and Record reconciles a changed write set.
+			delete(cs.Accounts, tx.To)
+			out.merged = true
+		}
+		return mv.ExecResult{Writes: cs, Data: out}
 	})
+	if ctrl != nil {
+		// MV-STM contention surfaces two ways: read-set validation failures
+		// (rare — the window suppresses most doomed runs) and ESTIMATE
+		// suspensions (the common case). Feed both into the controller's
+		// windowed sketches with the contended key; no stripe attribution
+		// in this engine.
+		inst.SetValidationFailHook(func(idx int, r mv.ReadRecord) {
+			ctrl.NoteAbort(claimed[idx].From, r.Key(), -1)
+		})
+		inst.SetEstimateHitHook(func(idx int, key types.StateKey) {
+			ctrl.NoteAbort(claimed[idx].From, key, -1)
+		})
+	}
 	if cfg.MVFaultStaleReads {
 		inst.SetStaleReads(true)
 	}
@@ -151,6 +192,7 @@ func proposeMV(parent *state.Snapshot, parentHeader *types.Header, pool *mempool
 		dropped      atomic.Int64
 		droppedRetry atomic.Int64
 		retries      sync.Map
+		laneCommits  int
 	)
 	gasFull := false
 	for !gasFull {
@@ -176,9 +218,37 @@ func proposeMV(parent *state.Snapshot, parentHeader *types.Header, pool *mempool
 		if len(round) == 0 {
 			break
 		}
+		hotStart := len(round)
+		if ctrl != nil {
+			// The MV-STM shape of the serial lane: partition the round into
+			// a cold prefix and a hot suffix, each preserving pop (price)
+			// order. The cold prefix runs at full parallelism; the hot
+			// suffix runs as a second sub-round at one thread, after every
+			// cold write has validated, so hot txs execute serially in
+			// claimed order and commit with ~zero re-executions.
+			cold := make([]*types.Transaction, 0, len(round))
+			var hot []*types.Transaction
+			for _, tx := range round {
+				if ctrl.IsHot(tx) {
+					hot = append(hot, tx)
+				} else {
+					cold = append(cold, tx)
+				}
+			}
+			hotStart = len(cold)
+			round = append(cold, hot...)
+		}
 		lo := len(claimed)
 		claimed = append(claimed, round...)
-		inst.Run(len(round), cfg.Threads)
+		if hotStart < len(round) {
+			inst.Run(hotStart, cfg.Threads)
+			inst.Run(len(round)-hotStart, 1)
+			for range round[hotStart:] {
+				ctrl.NoteLaneTx()
+			}
+		} else {
+			inst.Run(len(round), cfg.Threads)
+		}
 
 		// Finalize the round in claimed (index) order.
 		cut := -1
@@ -208,6 +278,13 @@ func proposeMV(parent *state.Snapshot, parentHeader *types.Header, pool *mempool
 			}
 			gasUsed += out.receipt.GasUsed
 			fees.Add(&fees, out.fee)
+			if out.merged {
+				credits.Add(claimed[idx].To, &claimed[idx].Value)
+				ctrl.NoteMerge()
+			}
+			if ctrl != nil && rel >= hotStart {
+				laneCommits++
+			}
 			committed = append(committed, committedTx{
 				version: types.Version(idx + 1),
 				tx:      claimed[idx],
@@ -258,10 +335,17 @@ func proposeMV(parent *state.Snapshot, parentHeader *types.Header, pool *mempool
 	}
 
 	// Finalize: aggregate fee + reward credit to the coinbase, then commit —
-	// the exact seal tail of the OCC-WSI engine.
+	// the exact seal tail of the OCC-WSI engine, merged hot-account credits
+	// first so FinalizationChange sees them (the coinbase itself can be hot).
 	total := inst.Flatten()
 	accum := state.NewMemory(parent)
 	accum.ApplyChangeSet(total)
+	if credits != nil {
+		if ccs := credits.Materialize(accum); ccs != nil {
+			accum.ApplyChangeSet(ccs)
+			total.Merge(ccs)
+		}
+	}
 	total.Merge(chain.FinalizationChange(accum, cfg.Coinbase, &fees, params))
 	if tr != nil {
 		scStart = time.Now()
@@ -271,6 +355,13 @@ func proposeMV(parent *state.Snapshot, parentHeader *types.Header, pool *mempool
 		scEnd = time.Now()
 	}
 
+	if ctrl != nil {
+		occ := 0.0
+		if len(committed) > 0 {
+			occ = float64(laneCommits) / float64(len(committed))
+		}
+		telemetry.AdaptiveLaneOccupancy.Set(occ)
+	}
 	telemetry.ProposerBlockTxs.Observe(uint64(len(committed)))
 	header.GasUsed = gasUsed
 	header.StateRoot = stateRoot

@@ -77,3 +77,34 @@ func (t *TopK[K]) Top(n int) []Counted[K] {
 
 // Len returns how many candidates the sketch currently holds.
 func (t *TopK[K]) Len() int { return len(t.entries) }
+
+// Decay scales every candidate's count (and error bound) by factor in
+// [0, 1), evicting candidates whose count reaches zero. It turns the
+// cumulative sketch into an exponentially-windowed one: calling
+// Decay(f) once per block makes a key's count ≈ Σ aborts(block −i)·fⁱ, so
+// recent contention dominates and a key that has gone cold drains out of
+// the sketch within log₍1/f₎(count) blocks instead of squatting forever
+// (the adaptive controller's view, ISSUE 9). Factor values outside [0, 1)
+// are clamped: ≥ 1 decays nothing, < 0 resets the sketch.
+func (t *TopK[K]) Decay(factor float64) {
+	if factor >= 1 {
+		return
+	}
+	if factor < 0 {
+		factor = 0
+	}
+	for k, e := range t.entries {
+		e.count = uint64(float64(e.count) * factor)
+		e.err = uint64(float64(e.err) * factor)
+		if e.count == 0 {
+			delete(t.entries, k)
+		}
+	}
+}
+
+// Reset drops every candidate (a hard window cut, vs Decay's soft one).
+func (t *TopK[K]) Reset() {
+	for k := range t.entries {
+		delete(t.entries, k)
+	}
+}

@@ -93,6 +93,87 @@ func TestTopKHeavyHitterRetained(t *testing.T) {
 	}
 }
 
+// TestTopKDecayMonotonic: Decay scales every count down without reordering —
+// a hotter key stays at least as hot as a colder one through any number of
+// decay steps — and counts drained to zero leave the sketch entirely.
+func TestTopKDecayMonotonic(t *testing.T) {
+	s := NewTopK[string](8)
+	for i := 0; i < 16; i++ {
+		s.Observe("hot")
+	}
+	for i := 0; i < 4; i++ {
+		s.Observe("warm")
+	}
+	s.Observe("cold")
+
+	prevHot, prevWarm := uint64(16), uint64(4)
+	for step := 0; step < 6; step++ {
+		s.Decay(0.5)
+		counts := map[string]uint64{}
+		for _, c := range s.Top(0) {
+			counts[c.Key] = c.Count
+		}
+		if counts["hot"] > prevHot || counts["warm"] > prevWarm {
+			t.Fatalf("step %d: decay increased a count: %v", step, counts)
+		}
+		if counts["hot"] < counts["warm"] {
+			t.Fatalf("step %d: decay reordered hot (%d) below warm (%d)", step, counts["hot"], counts["warm"])
+		}
+		prevHot, prevWarm = counts["hot"], counts["warm"]
+	}
+	// 16 · 0.5⁶ < 1: everything has drained.
+	if s.Len() != 0 {
+		t.Fatalf("after 6 half-decays the sketch still holds %d entries: %v", s.Len(), s.Top(0))
+	}
+}
+
+// TestTopKDecayEvictionInteraction: a decayed survivor must still follow the
+// space-saving replacement rule — a newcomer evicts the *post-decay* minimum
+// and inherits its (decayed) count as error, so the sketch favors recency.
+func TestTopKDecayEvictionInteraction(t *testing.T) {
+	s := NewTopK[string](2)
+	for i := 0; i < 8; i++ {
+		s.Observe("old-hot")
+	}
+	for i := 0; i < 6; i++ {
+		s.Observe("old-warm")
+	}
+	s.Decay(0.25) // old-hot → 2, old-warm → 1
+	s.Observe("new")
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	top := s.Top(0)
+	if top[0].Key != "old-hot" || top[0].Count != 2 {
+		t.Fatalf("top[0] = %s/%d, want old-hot/2", top[0].Key, top[0].Count)
+	}
+	// new evicted old-warm (decayed count 1) and inherited it as err.
+	if top[1].Key != "new" || top[1].Count != 2 || top[1].Err != 1 {
+		t.Fatalf("top[1] = %s count=%d err=%d, want new/2/1", top[1].Key, top[1].Count, top[1].Err)
+	}
+}
+
+// TestTopKDecayClampAndReset: factor ≥ 1 is a no-op, factor < 0 clears, and
+// Reset drops everything outright.
+func TestTopKDecayClampAndReset(t *testing.T) {
+	s := NewTopK[string](4)
+	s.Observe("a")
+	s.Observe("a")
+	s.Decay(1.5)
+	if top := s.Top(1); len(top) != 1 || top[0].Count != 2 {
+		t.Fatalf("Decay(1.5) must be a no-op, got %v", top)
+	}
+	s.Decay(-1)
+	if s.Len() != 0 {
+		t.Fatalf("Decay(-1) must clear the sketch, Len = %d", s.Len())
+	}
+	s.Observe("b")
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Reset must clear the sketch, Len = %d", s.Len())
+	}
+}
+
 func TestTopKMinCapacity(t *testing.T) {
 	s := NewTopK[string](0) // clamped to 1
 	s.Observe("a")

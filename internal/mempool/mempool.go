@@ -43,11 +43,40 @@ import (
 type item struct {
 	tx    *types.Transaction
 	index int
+	// tier is the sender's abort-demotion tier frozen at push time (heap
+	// comparisons must be static per item). 0 = normal priority; higher
+	// tiers sort strictly after lower ones regardless of gas price. Always
+	// 0 while abort-aware ordering is off.
+	tier uint8
 	// popped is set (under the heap mutex) the instant the item leaves the
 	// heap through Pop/PopBatch. Until the popper settles the sender shard,
 	// the shard's resident pointer still names this item; popped tells
 	// every shard-side reader to treat the sender as blocked.
 	popped atomic.Bool
+}
+
+// Abort-aware ordering constants: a requeue bumps the sender's abort EWMA
+// (ewma·α + 1), a successful settle decays it (ewma·α), and the demotion
+// tier is a bounded staircase over the EWMA. maxAbortTier caps how far a
+// sender can sink — within the bottom tier price order still applies and
+// the pool drains every block, so nothing is parked forever.
+const (
+	abortAlpha      = 0.8
+	demoteThreshold = 2.0
+	tierWidth       = 2.0
+	maxAbortTier    = 3
+)
+
+// abortTierFor maps an abort EWMA to a demotion tier.
+func abortTierFor(ewma float64) uint8 {
+	if ewma < demoteThreshold {
+		return 0
+	}
+	t := 1 + int((ewma-demoteThreshold)/tierWidth)
+	if t > maxAbortTier {
+		t = maxAbortTier
+	}
+	return uint8(t)
 }
 
 // senderShardCount shards the sender table; a power of two.
@@ -59,7 +88,14 @@ type senderShard struct {
 	queues   map[types.Address][]*types.Transaction // nonce-sorted backlog
 	inFlight map[types.Address]int                  // popped, neither Done nor Requeued
 	resident map[types.Address]*item                // the sender's heap entry
-	_        [16]byte
+	// requeues counts lifetime requeue (abort-retry) events per sender —
+	// always tracked, so repeated aborters are observable even with the
+	// abort-aware ordering off (ISSUE 9 satellite).
+	requeues map[types.Address]uint64
+	// abortEWMA is the decaying abort pressure per sender; only maintained
+	// while abort-aware ordering is on.
+	abortEWMA map[types.Address]float64
+	_         [16]byte
 }
 
 // Pool is a concurrent pending-transaction pool.
@@ -69,6 +105,10 @@ type Pool struct {
 
 	shards [senderShardCount]senderShard
 	count  atomic.Int64
+
+	// abortAware switches the per-sender demotion-tier ordering on. Set by
+	// the proposer when the adaptive controller runs with demotion enabled.
+	abortAware atomic.Bool
 
 	// executableHook, when set, is invoked (outside all pool locks) after
 	// an operation makes a transaction executable (a heap push). The
@@ -81,9 +121,11 @@ func New() *Pool {
 	p := &Pool{}
 	for i := range p.shards {
 		p.shards[i] = senderShard{
-			queues:   make(map[types.Address][]*types.Transaction),
-			inFlight: make(map[types.Address]int),
-			resident: make(map[types.Address]*item),
+			queues:    make(map[types.Address][]*types.Transaction),
+			inFlight:  make(map[types.Address]int),
+			resident:  make(map[types.Address]*item),
+			requeues:  make(map[types.Address]uint64),
+			abortEWMA: make(map[types.Address]float64),
 		}
 	}
 	return p
@@ -194,7 +236,7 @@ func (p *Pool) replaceIfPending(sh *senderShard, tx *types.Transaction) error {
 			return nil // fell in flight: treat as no pending match
 		}
 		heap.Remove(&p.heap, res.index)
-		it := &item{tx: tx}
+		it := &item{tx: tx, tier: p.tierOf(sh, s)}
 		heap.Push(&p.heap, it)
 		p.heapMu.Unlock()
 		sh.resident[s] = it
@@ -263,7 +305,17 @@ func (p *Pool) RequeueBatch(txs []*types.Transaction) {
 // requeueLocked is Requeue's core (shard lock held). Reports whether a
 // transaction entered the heap.
 func (p *Pool) requeueLocked(sh *senderShard, tx *types.Transaction) bool {
-	p.decInFlight(sh, tx.From)
+	s := tx.From
+	sh.requeues[s]++
+	if p.abortAware.Load() {
+		before := sh.abortEWMA[s]
+		after := before*abortAlpha + 1
+		sh.abortEWMA[s] = after
+		if abortTierFor(before) == 0 && abortTierFor(after) > 0 {
+			telemetry.AdaptiveDemotedSenders.Inc()
+		}
+	}
+	p.decInFlight(sh, s)
 	return p.insert(sh, tx)
 }
 
@@ -272,6 +324,7 @@ func (p *Pool) requeueLocked(sh *senderShard, tx *types.Transaction) bool {
 func (p *Pool) Done(tx *types.Transaction) {
 	sh := p.shardOf(tx.From)
 	sh.mu.Lock()
+	sh.decayAbort(tx.From)
 	p.decInFlight(sh, tx.From)
 	pushed := p.promote(sh, tx.From)
 	sh.mu.Unlock()
@@ -286,6 +339,7 @@ func (p *Pool) DoneBatch(txs []*types.Transaction) {
 	for _, tx := range txs {
 		sh := p.shardOf(tx.From)
 		sh.mu.Lock()
+		sh.decayAbort(tx.From)
 		p.decInFlight(sh, tx.From)
 		if p.promote(sh, tx.From) {
 			pushed = true
@@ -295,6 +349,27 @@ func (p *Pool) DoneBatch(txs []*types.Transaction) {
 	if pushed {
 		p.notifyExecutable()
 	}
+}
+
+// decayAbort relaxes the sender's abort EWMA on a successful settle (shard
+// lock held); drained entries are deleted so the map tracks only pressure.
+func (sh *senderShard) decayAbort(s types.Address) {
+	if e, ok := sh.abortEWMA[s]; ok {
+		e *= abortAlpha
+		if e < 0.05 {
+			delete(sh.abortEWMA, s)
+		} else {
+			sh.abortEWMA[s] = e
+		}
+	}
+}
+
+// tierOf returns the sender's current demotion tier (shard lock held).
+func (p *Pool) tierOf(sh *senderShard, s types.Address) uint8 {
+	if !p.abortAware.Load() {
+		return 0
+	}
+	return abortTierFor(sh.abortEWMA[s])
 }
 
 func (p *Pool) decInFlight(sh *senderShard, s types.Address) {
@@ -334,7 +409,7 @@ func (p *Pool) promote(sh *senderShard, s types.Address) bool {
 	} else {
 		sh.queues[s] = q[1:]
 	}
-	it := &item{tx: q[0]}
+	it := &item{tx: q[0], tier: p.tierOf(sh, s)}
 	p.heapMu.Lock()
 	heap.Push(&p.heap, it)
 	p.heapMu.Unlock()
@@ -384,6 +459,79 @@ func queueInsert(sh *senderShard, s types.Address, tx *types.Transaction) {
 	copy(q[i+1:], q[i:])
 	q[i] = tx
 	sh.queues[s] = q
+}
+
+// SetAbortAware switches the per-sender abort-EWMA demotion ordering on or
+// off. Requeue counts are tracked either way; only the EWMA bookkeeping and
+// the heap's tier comparison react to this flag. Items already resident in
+// the heap keep their frozen tier until they are next re-pushed.
+func (p *Pool) SetAbortAware(on bool) { p.abortAware.Store(on) }
+
+// AbortAware reports whether abort-aware ordering is on.
+func (p *Pool) AbortAware() bool { return p.abortAware.Load() }
+
+// AgeAborts decays every sender's abort EWMA by factor — the proposer calls
+// this once per block so demotion pressure fades with time as well as with
+// successes (anti-starvation aging: a parked sender whose transactions never
+// run still climbs back to tier 0 within a few blocks).
+func (p *Pool) AgeAborts(factor float64) {
+	if factor < 0 || factor >= 1 {
+		return
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for s, e := range sh.abortEWMA {
+			e *= factor
+			if e < 0.05 {
+				delete(sh.abortEWMA, s)
+			} else {
+				sh.abortEWMA[s] = e
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// SenderRequeues returns how many times transactions from s were requeued
+// (lifetime of the pool).
+func (p *Pool) SenderRequeues(s types.Address) uint64 {
+	sh := p.shardOf(s)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.requeues[s]
+}
+
+// RequeueStat is one sender's requeue pressure for reporting.
+type RequeueStat struct {
+	Sender   types.Address `json:"sender"`
+	Requeues uint64        `json:"requeues"`
+	// Tier is the sender's current demotion tier (always 0 with abort-aware
+	// ordering off).
+	Tier uint8 `json:"tier"`
+}
+
+// TopRequeued returns the n most-requeued senders, highest count first.
+func (p *Pool) TopRequeued(n int) []RequeueStat {
+	var out []RequeueStat
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for s, r := range sh.requeues {
+			out = append(out, RequeueStat{Sender: s, Requeues: r, Tier: p.tierOf(sh, s)})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Requeues != out[j].Requeues {
+			return out[i].Requeues > out[j].Requeues
+		}
+		return string(out[i].Sender[:]) < string(out[j].Sender[:])
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
 }
 
 // Pop removes and returns the highest-priced executable transaction, or nil
@@ -446,13 +594,19 @@ func (p *Pool) popBatch(buf []*types.Transaction) int {
 	return len(items)
 }
 
-// priceHeap orders items by gas price (descending), breaking ties by nonce
-// (ascending) then hash so the order is deterministic.
+// priceHeap orders items by demotion tier (ascending — tier 0 is normal
+// traffic, demoted aborters sink below it), then gas price (descending),
+// breaking ties by nonce (ascending) then hash so the order is
+// deterministic. Tiers are frozen at push time, so Less stays static per
+// item while the sender's EWMA keeps moving.
 type priceHeap []*item
 
 func (h priceHeap) Len() int { return len(h) }
 
 func (h priceHeap) Less(i, j int) bool {
+	if h[i].tier != h[j].tier {
+		return h[i].tier < h[j].tier
+	}
 	a, b := h[i].tx, h[j].tx
 	switch a.GasPrice.Cmp(&b.GasPrice) {
 	case 1:

@@ -495,6 +495,118 @@ func TestExecutableHook(t *testing.T) {
 	popDone(p)
 }
 
+// TestRequeueCountsAlwaysTracked: per-sender requeue counts accumulate with
+// abort-aware ordering off (the default), so repeat aborters are observable
+// without opting in to demotion (ISSUE 9 satellite).
+func TestRequeueCountsAlwaysTracked(t *testing.T) {
+	p := New()
+	p.Add(tx(1, 0, 10))
+	p.Add(tx(2, 0, 20))
+	for i := 0; i < 3; i++ {
+		got := p.Pop() // sender 2: higher price
+		p.Requeue(got)
+	}
+	s2 := types.BytesToAddress([]byte{2})
+	if n := p.SenderRequeues(s2); n != 3 {
+		t.Fatalf("SenderRequeues = %d, want 3", n)
+	}
+	if n := p.SenderRequeues(types.BytesToAddress([]byte{1})); n != 0 {
+		t.Fatalf("untouched sender has %d requeues", n)
+	}
+	top := p.TopRequeued(1)
+	if len(top) != 1 || top[0].Sender != s2 || top[0].Requeues != 3 {
+		t.Fatalf("TopRequeued = %+v", top)
+	}
+	if top[0].Tier != 0 {
+		t.Fatalf("tier must stay 0 with abort-aware ordering off, got %d", top[0].Tier)
+	}
+	// Order must be untouched: sender 2 still pops first by price.
+	if got := p.Pop(); got.From != s2 {
+		t.Fatalf("requeue counting must not reorder pops, got sender %v", got.From)
+	}
+}
+
+// TestAbortAwareDemotion: with abort-aware ordering on, a sender whose
+// transactions repeatedly requeue sinks below a cheaper cold sender, and
+// aging (AgeAborts) restores it.
+func TestAbortAwareDemotion(t *testing.T) {
+	p := New()
+	p.SetAbortAware(true)
+	if !p.AbortAware() {
+		t.Fatal("SetAbortAware(true) did not stick")
+	}
+	p.Add(tx(1, 0, 100)) // hot aborter, best price
+	p.Add(tx(2, 0, 1))   // cold, cheap
+
+	// Drive sender 1's EWMA over the demotion threshold (each cycle pops
+	// the current best; requeue re-inserts with the tier frozen at push).
+	for i := 0; i < 4; i++ {
+		got := p.Pop()
+		if got.From != types.BytesToAddress([]byte{1}) {
+			// Once demoted, the cold sender surfaces — stop churning it.
+			p.Requeue(got)
+			break
+		}
+		p.Requeue(got)
+	}
+	got := p.Pop()
+	if got == nil || got.From != types.BytesToAddress([]byte{2}) {
+		t.Fatalf("demoted aborter still outranks cold sender: got %+v", got)
+	}
+	p.Requeue(got)
+
+	stats := p.TopRequeued(0)
+	if len(stats) == 0 || stats[0].Sender != types.BytesToAddress([]byte{1}) || stats[0].Tier == 0 {
+		t.Fatalf("aborter not demoted: %+v", stats)
+	}
+
+	// Anti-starvation: a few blocks of aging clear the tier, and the next
+	// requeue cycle re-freezes tier 0 so price order rules again.
+	for i := 0; i < 8; i++ {
+		p.AgeAborts(0.5)
+	}
+	if s := p.TopRequeued(1); s[0].Tier != 0 {
+		t.Fatalf("aging did not clear the tier: %+v", s)
+	}
+	// Tiers are frozen per heap item: drain both residents and requeue them
+	// so they re-freeze at the recovered tier 0, then price order rules.
+	both := p.PopBatch(2)
+	if len(both) != 2 {
+		t.Fatalf("expected both residents, got %d", len(both))
+	}
+	p.RequeueBatch(both)
+	if got = p.Pop(); got.From != types.BytesToAddress([]byte{1}) {
+		t.Fatalf("recovered sender must win by price again, got %v", got.From)
+	}
+}
+
+// TestAbortAwareSuccessDecay: successful settles (Done) relax the EWMA too.
+func TestAbortAwareSuccessDecay(t *testing.T) {
+	p := New()
+	p.SetAbortAware(true)
+	p.Add(tx(1, 0, 10))
+	// Two requeues: ewma = 1·0.8 + 1 = 1.8 < threshold → still tier 0.
+	for i := 0; i < 2; i++ {
+		p.Requeue(p.Pop())
+	}
+	if s := p.TopRequeued(1); s[0].Tier != 0 {
+		t.Fatalf("sub-threshold EWMA demoted: %+v", s)
+	}
+	// One more requeue crosses it (1.8·0.8 + 1 = 2.44 ≥ 2).
+	p.Requeue(p.Pop())
+	if s := p.TopRequeued(1); s[0].Tier == 0 {
+		t.Fatalf("threshold crossing did not demote: %+v", s)
+	}
+	// Successes melt it back below threshold.
+	for i := 0; i < 3; i++ {
+		p.Done(p.Pop())
+		p.Add(tx(1, uint64(i+1), 10))
+	}
+	if s := p.TopRequeued(1); s[0].Tier != 0 {
+		t.Fatalf("successful settles did not decay the EWMA: %+v", s)
+	}
+}
+
 func BenchmarkPoolPopRequeue(b *testing.B) {
 	p := New()
 	for i := 0; i < 1000; i++ {

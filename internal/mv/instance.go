@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"blockpilot/internal/state"
+	"blockpilot/internal/types"
 )
 
 // ExecResult is what one incarnation of a transaction produced: its change
@@ -52,11 +53,37 @@ type Instance struct {
 	reexecutions    atomic.Int64
 	estimateHits    atomic.Int64
 	validationFails atomic.Int64
+
+	// validationFailHook, when set, observes each validation abort with the
+	// first read that no longer resolves (abort attribution for the
+	// adaptive controller). Called from worker goroutines; must be
+	// thread-safe and cheap. Set before the first Run.
+	validationFailHook func(idx int, r ReadRecord)
+
+	// estimateHitHook, when set, observes each ESTIMATE suspension with the
+	// contended key. Under Block-STM hot-key pressure mostly shows up here
+	// rather than as validation aborts — the speculation window and ESTIMATE
+	// markers prevent the doomed execution — so this is the primary
+	// contention feed for the adaptive controller. Same thread-safety
+	// contract as validationFailHook.
+	estimateHitHook func(idx int, key types.StateKey)
 }
 
 // NewInstance returns an empty instance over base.
 func NewInstance(base state.Reader, exec ExecFunc) *Instance {
 	return &Instance{mem: NewMemory(base), exec: exec, lastWindow: -1}
+}
+
+// SetValidationFailHook installs (or, with nil, removes) the per-abort
+// attribution callback. Must be called before the first Run.
+func (in *Instance) SetValidationFailHook(f func(idx int, r ReadRecord)) {
+	in.validationFailHook = f
+}
+
+// SetEstimateHitHook installs (or, with nil, removes) the per-suspension
+// attribution callback. Must be called before the first Run.
+func (in *Instance) SetEstimateHitHook(f func(idx int, key types.StateKey)) {
+	in.estimateHitHook = f
 }
 
 // SetStaleReads enables the seeded-bug fault injection used by the
@@ -159,6 +186,9 @@ func (in *Instance) tryExecute(sched *Scheduler, worker int, task Task) (Task, b
 		res, dep := in.execOnce(worker, task.Idx)
 		if dep != nil {
 			in.estimateHits.Add(1)
+			if in.estimateHitHook != nil {
+				in.estimateHitHook(task.Idx, dep.key)
+			}
 			if !sched.AddDependency(task.Idx, dep.blocking) {
 				continue // dependency already landed: retry this incarnation
 			}
@@ -204,6 +234,11 @@ func (in *Instance) validate(sched *Scheduler, task Task) (Task, bool) {
 	aborted := false
 	if !in.mem.ValidateReadSet(task.Idx) && sched.TryValidationAbort(task.Idx, task.Inc) {
 		in.validationFails.Add(1)
+		if in.validationFailHook != nil {
+			if r, ok := in.mem.FirstInvalidRead(task.Idx); ok {
+				in.validationFailHook(task.Idx, r)
+			}
+		}
 		in.mem.ConvertToEstimates(task.Idx)
 		aborted = true
 	}

@@ -54,6 +54,18 @@ type ReadRecord struct {
 	Inc  int
 }
 
+// Key maps the read record to its reserve-table-style state key: storage
+// reads to the (addr, slot) key, scalar and code reads to the account key.
+// This is the granularity the adaptive controller's hot-key sketch uses, so
+// MV-STM validation failures and OCC-WSI commit conflicts attribute to the
+// same keys.
+func (r ReadRecord) Key() types.StateKey {
+	if r.Kind == readSlot {
+		return types.StorageKey(r.Addr, r.Slot)
+	}
+	return types.AccountKey(r.Addr)
+}
+
 // baseVersion marks a read that resolved below every multi-version entry.
 const baseVersion = -1
 
@@ -505,6 +517,39 @@ func (m *Memory) ValidateReadSet(tx int) bool {
 		}
 	}
 	return true
+}
+
+// FirstInvalidRead returns the first read-set entry that no longer resolves
+// to the version it observed, for abort attribution. Only called on the
+// (rare) validation-failure path — the hot validation loop stays boolean.
+func (m *Memory) FirstInvalidRead(tx int) (ReadRecord, bool) {
+	if m.stale {
+		return ReadRecord{}, false
+	}
+	recs := m.reads[tx].Load()
+	if recs == nil {
+		return ReadRecord{}, false
+	}
+	for _, r := range *recs {
+		switch r.Kind {
+		case readScalar:
+			e, ok := m.resolveAcct(r.Addr, tx)
+			if !sameVersion(ok, e.tx, e.inc, e.estimate, r) {
+				return r, true
+			}
+		case readCode:
+			e, ok := m.resolveCode(r.Addr, tx)
+			if !sameVersion(ok, e.tx, e.inc, e.estimate, r) {
+				return r, true
+			}
+		case readSlot:
+			e, ok := m.resolveSlot(r.Addr, r.Slot, tx)
+			if !sameVersion(ok, e.tx, e.inc, e.estimate, r) {
+				return r, true
+			}
+		}
+	}
+	return ReadRecord{}, false
 }
 
 func sameVersion(ok bool, tx, inc int, estimate bool, r ReadRecord) bool {

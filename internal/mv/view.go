@@ -11,7 +11,14 @@ import (
 // ESTIMATE: the executing transaction suspends on the blocking index. The
 // instance recovers it at the execution boundary (no recover() exists
 // anywhere between the EVM and the executor, so the unwind is clean).
-type depError struct{ blocking int }
+// key names the contended location — under Block-STM most hot-key pressure
+// surfaces as suspensions rather than validation aborts (the window and
+// ESTIMATE markers prevent the doomed execution), so the adaptive
+// controller's contention signal has to come from here.
+type depError struct {
+	blocking int
+	key      types.StateKey
+}
 
 // view is the state.Reader one incarnation of one transaction executes
 // against. Every read resolves through the multi-version chains exactly
@@ -65,7 +72,7 @@ func (v *view) resolveScalar(addr types.Address) *viewAcct {
 	if !v.m.stale {
 		if e, ok := v.m.resolveAcct(addr, v.idx); ok {
 			if e.estimate {
-				panic(depError{blocking: e.tx})
+				panic(depError{blocking: e.tx, key: types.AccountKey(addr)})
 			}
 			va.nonce, va.balance, va.exists = e.nonce, e.balance, true
 			va.chainAcct = true
@@ -98,7 +105,7 @@ func (v *view) resolveCode(addr types.Address) *viewAcct {
 	if !v.m.stale {
 		if e, ok := v.m.resolveCode(addr, v.idx); ok {
 			if e.estimate {
-				panic(depError{blocking: e.tx})
+				panic(depError{blocking: e.tx, key: types.AccountKey(addr)})
 			}
 			va.code = e.code
 			va.codeHash = types.Hash(crypto.Sum256(e.code))
@@ -152,7 +159,7 @@ func (v *view) Storage(addr types.Address, slot types.Hash) uint256.Int {
 	if !v.m.stale {
 		if e, ok := v.m.resolveSlot(addr, slot, v.idx); ok {
 			if e.estimate {
-				panic(depError{blocking: e.tx})
+				panic(depError{blocking: e.tx, key: types.StorageKey(addr, slot)})
 			}
 			val = e.value
 			v.slots[sk] = val

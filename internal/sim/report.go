@@ -57,14 +57,18 @@ func (r *Report) OK() bool {
 
 // ReproLine is the command that replays this exact run.
 func (r *Report) ReproLine() string {
-	return fmt.Sprintf("bpbench -exp sim -scenario %s -seed %d -engine %s", r.Cfg.Scenario, r.Cfg.Seed, r.Cfg.Engine)
+	line := fmt.Sprintf("bpbench -exp sim -scenario %s -seed %d -engine %s", r.Cfg.Scenario, r.Cfg.Seed, r.Cfg.Engine)
+	if r.Cfg.Adaptive {
+		line += " -adaptive"
+	}
+	return line
 }
 
 // Render formats the report for the CLI.
 func (r *Report) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sim scenario=%s seed=%d engine=%s heights=%d validators=%d\n",
-		r.Cfg.Scenario, r.Cfg.Seed, r.Cfg.Engine, r.Cfg.Heights, r.Cfg.Validators)
+	fmt.Fprintf(&b, "sim scenario=%s seed=%d engine=%s adaptive=%v heights=%d validators=%d\n",
+		r.Cfg.Scenario, r.Cfg.Seed, r.Cfg.Engine, r.Cfg.Adaptive, r.Cfg.Heights, r.Cfg.Validators)
 	fmt.Fprintf(&b, "  blocks: %d canonical, %d fork, %d tampered copies\n",
 		r.Stats.CanonicalBlocks, r.Stats.ForkBlocks, r.Stats.TamperedCopies)
 	fmt.Fprintf(&b, "  txs: %d generated, %d committed, %d pending, %d dropped\n",

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blockpilot/internal/adaptive"
 	"blockpilot/internal/blockdb"
 	"blockpilot/internal/chain"
 	"blockpilot/internal/core"
@@ -173,8 +174,9 @@ type runner struct {
 	tampers   []*tamperedInstance         // creation order
 	byPointer map[*types.Block]*tamperedInstance
 
-	health    *health.Recorder // deterministic v0 recorder (cfg.Health)
-	stallGate chan struct{}    // open while the stall injection freezes v0
+	health    *health.Recorder     // deterministic v0 recorder (cfg.Health)
+	stallGate chan struct{}        // open while the stall injection freezes v0
+	adaptive  *adaptive.Controller // run-scoped contention controller (cfg.Adaptive)
 
 	txGenerated int
 	txCommitted int
@@ -220,6 +222,9 @@ func Run(cfg Config) (*Report, error) {
 		genuine:   make(map[types.Hash]*types.Block),
 		heights:   make(map[types.Hash]uint64),
 		byPointer: make(map[*types.Block]*tamperedInstance),
+	}
+	if cfg.Adaptive {
+		r.adaptive = adaptive.New(adaptive.Config{})
 	}
 	genesis := r.gen.GenesisState()
 	r.ref = chain.NewChain(genesis, params)
@@ -342,7 +347,7 @@ func (r *runner) drive(pnode *network.Node, genesis *state.Snapshot) error {
 		res, err := core.Propose(tip.st, tip.header, r.pool, core.ProposerConfig{
 			Engine:  cfg.Engine,
 			Threads: cfg.ProposerThreads, Coinbase: proposerCoinbase, Time: uint64(h),
-			Node: "proposer", Tracer: r.tracer,
+			Node: "proposer", Tracer: r.tracer, Adaptive: r.adaptive,
 		}, r.params)
 		if err != nil {
 			return fmt.Errorf("sim: propose height %d: %w", h, err)

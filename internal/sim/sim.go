@@ -44,6 +44,14 @@ type Config struct {
 	// so every scenario must hold under both. Part of the repro line.
 	Engine string
 
+	// Adaptive attaches one contention controller to the canonical
+	// proposer for the whole run (the window persists across heights, as in
+	// production): hot-key serial lane, commutative credit merge, and
+	// abort-aware mempool ordering all come on. The oracles are
+	// scheduling-blind — every scenario must hold with it on or off. Part
+	// of the repro line.
+	Adaptive bool
+
 	Heights          int // canonical blocks proposed
 	Validators       int // validator node count
 	ProposerThreads  int // OCC-WSI workers; 1 keeps the canonical stream deterministic

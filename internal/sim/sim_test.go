@@ -72,6 +72,42 @@ func TestScenarioMatrixMVSTM(t *testing.T) {
 	}
 }
 
+// TestScenarioMatrixAdaptive repeats the full scenario matrix with the
+// contention controller attached to the canonical proposer, under both
+// engines: the serial lane, the commutative credit merge and the
+// abort-aware mempool ordering must all be invisible to every oracle —
+// a lane transaction that committed out of serialization order or a
+// mis-merged credit shows up as a state-root divergence on replay. Reduced
+// seed set: the stock matrices above already cover seeds × scenarios.
+func TestScenarioMatrixAdaptive(t *testing.T) {
+	seeds := []int64{1, 42}
+	for _, scenario := range Scenarios() {
+		scenario := scenario
+		t.Run(scenario, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				for _, engine := range core.Engines() {
+					cfg, err := Preset(scenario, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.Engine = engine
+					cfg.Adaptive = true
+					cfg.Dir = t.TempDir()
+					rep, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("scenario %s seed %d engine %s adaptive: %v", scenario, seed, engine, err)
+					}
+					if len(rep.Problems) > 0 {
+						t.Fatalf("scenario %s seed %d engine %s adaptive: %d oracle failures (repro: %s)\n%s",
+							scenario, seed, engine, len(rep.Problems), rep.ReproLine(), rep.Render())
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestMVDigestDeterminism: with the deterministic MV-STM claim order the
 // whole run digest must be reproducible even at several worker threads.
 func TestMVDigestDeterminism(t *testing.T) {

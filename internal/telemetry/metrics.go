@@ -128,6 +128,21 @@ var (
 		"Broadcast messages blocked by an active network partition.")
 )
 
+// Contention-adaptive scheduling (internal/adaptive): the flight-recorder
+// feedback loop's online decisions.
+var (
+	AdaptiveSerialLaneTxs = NewCounter("blockpilot_adaptive_serial_lane_txs_total",
+		"Transactions diverted from the parallel pool into the hot-key serial lane.")
+	AdaptiveMergedCredits = NewCounter("blockpilot_adaptive_merged_credits_total",
+		"Pure balance credits to hot accounts folded through the commutative delta accumulator.")
+	AdaptiveDemotedSenders = NewCounter("blockpilot_adaptive_demoted_senders_total",
+		"Senders de-prioritized by the mempool's abort-EWMA ordering (0→demoted transitions).")
+	AdaptiveHotAccounts = NewGauge("blockpilot_adaptive_hot_accounts",
+		"Accounts in the currently published hot set (serial-lane routing table size).")
+	AdaptiveLaneOccupancy = NewFloatGauge("blockpilot_adaptive_lane_occupancy",
+		"Fraction of the last block's committed transactions that went through the serial lane.")
+)
+
 // DerivedStats computes the evaluation-facing rates the paper reports from
 // a snapshot: abort rate, drop rate, reject rate, and per-phase latency
 // quantiles in milliseconds. Used by `bpbench -json` so BENCH trajectories
