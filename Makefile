@@ -7,7 +7,9 @@
 # + a short-mode smoke of the contention benchmark suite + the
 # contention-adaptive scheduler smoke (adaptive-smoke) + the
 # cluster-simulator scenario matrix with its mutation self-check and span-chain
-# oracle (sim-smoke) + a short corpus pass over the fuzz targets (fuzz-smoke).
+# oracle (sim-smoke) + the disk-backed state persistence battery at 500k
+# accounts (state-smoke) + a short corpus pass over the fuzz targets
+# (fuzz-smoke).
 # See docs/TESTING.md for the oracle definitions, the scenario matrix, and
 # seed-replay instructions.
 #
@@ -26,11 +28,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race race-all flight-budget trace-budget health-budget health-smoke bench-smoke adaptive-smoke sim-smoke fuzz-smoke bench bench-go bench-state bench-check telemetry-bench flight-bench trace-demo crit-demo health-demo clean
+.PHONY: all ci vet build test race race-all flight-budget trace-budget health-budget health-smoke bench-smoke adaptive-smoke sim-smoke state-smoke fuzz-smoke bench bench-go bench-state bench-check telemetry-bench flight-bench trace-demo crit-demo health-demo clean
 
 all: ci
 
-ci: vet build test race flight-budget trace-budget health-budget health-smoke bench-smoke adaptive-smoke sim-smoke fuzz-smoke
+ci: vet build test race flight-budget trace-budget health-budget health-smoke bench-smoke adaptive-smoke sim-smoke state-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,7 +44,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/adaptive/... ./internal/core/... ./internal/mv/... ./internal/mempool/... ./internal/pipeline/... ./internal/network/... ./internal/telemetry/... ./internal/flight/... ./internal/trace/... ./internal/health/... ./internal/trie/... ./internal/state/...
+	$(GO) test -race ./internal/adaptive/... ./internal/core/... ./internal/mv/... ./internal/mempool/... ./internal/pipeline/... ./internal/network/... ./internal/telemetry/... ./internal/flight/... ./internal/trace/... ./internal/health/... ./internal/trie/... ./internal/trie/store/... ./internal/state/...
 
 # Race detector over the *entire* module, cluster simulator included. Slower
 # than `race`; run before merging concurrency changes.
@@ -105,6 +107,15 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBlockProfileRoundTrip -fuzztime 3s ./internal/types/
 	$(GO) test -run '^$$' -fuzz FuzzMempoolAdmit -fuzztime 3s ./internal/mempool/
 	$(GO) test -run '^$$' -fuzz FuzzMVVersionChain -fuzztime 3s ./internal/mv/
+	$(GO) test -run '^$$' -fuzz FuzzNodeStore -fuzztime 3s ./internal/trie/store/
+
+# Disk-backed state gate: the persistence battery's CI short-mode scale run —
+# a 500k-account chunked genesis plus chained block commits with pruning,
+# bounded-heap asserted, final root reopen-verified. The full 5M-account
+# acceptance run is the same test at BLOCKPILOT_SCALE_ACCOUNTS=5000000.
+state-smoke:
+	BLOCKPILOT_SCALE_ACCOUNTS=500000 $(GO) test -count=1 -timeout 30m -run 'TestDiskStateScale' ./internal/bench/
+	$(GO) test -count=1 -run 'TestDiskStateSmoke|TestDiskSnapshotParity|TestCrashRecoveryEveryOffset' ./internal/bench/ ./internal/state/ ./internal/trie/store/
 
 # Full baseline: contention suite -> BENCH_proposer.json, validator suite ->
 # BENCH_validator.json, state-commit suite -> BENCH_state.json, then the Go

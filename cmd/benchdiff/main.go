@@ -56,7 +56,18 @@ type benchFile struct {
 	// the controller's feedback loop makes a single thread point bistable
 	// run-to-run, while each side's best over the sweep is stable.
 	AdaptiveZipf *float64 `json:"adaptive_zipf_speedup_best"`
-	Env               *runEnv  `json:"env"`
+	// Disk is the state file's disk-backend series — absent from baselines
+	// that predate the persistent backend, so its headlines only gate once a
+	// baseline carrying them is committed.
+	Disk *diskSeries `json:"disk"`
+	Env  *runEnv     `json:"env"`
+}
+
+// diskSeries mirrors bench.DiskStateResult's headline fields.
+type diskSeries struct {
+	CacheHitRatio     float64 `json:"cache_hit_ratio"`
+	ReadAmplification float64 `json:"read_amplification"`
+	CommitsPerSec     float64 `json:"commits_per_sec"`
 }
 
 // runEnv mirrors bench.RunEnv's drift-relevant fields.
@@ -122,6 +133,19 @@ func headlines(f *benchFile) (map[string]float64, string) {
 		return out, "proposer"
 	case f.SpeedupAt4Workers != nil: // state
 		out["state_commit/speedup_at_4_workers"] = *f.SpeedupAt4Workers
+		if f.Disk != nil {
+			if f.Disk.CacheHitRatio > 0 {
+				out["state_disk/cache_hit_ratio"] = f.Disk.CacheHitRatio
+			}
+			if f.Disk.CommitsPerSec > 0 {
+				out["state_disk/commits_per_sec"] = f.Disk.CommitsPerSec
+			}
+			// Read amplification is lower-better; gate its reciprocal so the
+			// generic "regressed = dropped" rule applies unchanged.
+			if f.Disk.ReadAmplification > 0 {
+				out["state_disk/read_efficiency"] = 1 / f.Disk.ReadAmplification
+			}
+		}
 		return out, "state"
 	case len(f.Points) > 0 && f.Points[0].Workload != "": // validator
 		for _, p := range f.Points {

@@ -73,6 +73,46 @@ func TestHeadlinesValidatorAndState(t *testing.T) {
 	}
 }
 
+// TestDiskSeriesHeadlines: the state file's disk-backend series contributes
+// cache-hit, commit-rate and read-efficiency (1/read-amplification, so
+// lower amplification = higher headline) metrics — and a baseline that
+// predates the series still diffs cleanly against a fresh file carrying it.
+func TestDiskSeriesHeadlines(t *testing.T) {
+	withDisk := `{
+	  "serial_ms": 70, "points": [{"workers": 4}], "speedup_at_4_workers": 1.4,
+	  "disk": {"cache_hit_ratio": 0.92, "read_amplification": 2.0, "commits_per_sec": 120}
+	}`
+	f, err := load(writeFile(t, "sd.json", withDisk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, kind := headlines(f)
+	if kind != "state" {
+		t.Fatalf("kind %q", kind)
+	}
+	if h["state_disk/cache_hit_ratio"] != 0.92 || h["state_disk/commits_per_sec"] != 120 ||
+		h["state_disk/read_efficiency"] != 0.5 {
+		t.Fatalf("disk headlines wrong: %v", h)
+	}
+
+	// Pre-disk baseline vs fresh-with-disk: added series, zero regressions.
+	old := writeFile(t, "s-old.json", `{"serial_ms": 70, "points": [{"workers": 4}], "speedup_at_4_workers": 1.4}`)
+	fresh := writeFile(t, "s-new.json", withDisk)
+	if n, err := diff(old, fresh, 0.15); err != nil || n != 0 {
+		t.Fatalf("pre-disk baseline vs disk fresh: regressions=%d err=%v, want 0", n, err)
+	}
+
+	// Once the baseline carries the series, a worse cache-hit ratio gates.
+	worse := writeFile(t, "s-worse.json", `{
+	  "serial_ms": 70, "points": [{"workers": 4}], "speedup_at_4_workers": 1.4,
+	  "disk": {"cache_hit_ratio": 0.50, "read_amplification": 2.0, "commits_per_sec": 120}
+	}`)
+	base := writeFile(t, "s-base.json", withDisk)
+	if n, err := diff(base, worse, 0.15); err != nil || n != 1 {
+		t.Fatalf("cache-hit regression: regressions=%d err=%v, want 1", n, err)
+	}
+}
+
 func TestDiffThreshold(t *testing.T) {
 	base := writeFile(t, "base.json", proposerBase)
 

@@ -38,7 +38,9 @@ import (
 	"blockpilot/internal/mempool"
 	"blockpilot/internal/network"
 	"blockpilot/internal/pipeline"
+	"blockpilot/internal/state"
 	"blockpilot/internal/telemetry"
+	"blockpilot/internal/trie"
 	"blockpilot/internal/trace"
 	"blockpilot/internal/types"
 	"blockpilot/internal/validator"
@@ -79,6 +81,8 @@ func main() {
 	healthOut := flag.String("health-out", "", "append health samples as JSONL to this path (implies -health)")
 	healthIncidents := flag.String("health-incidents", "", "write watchdog incident bundles under this directory (implies -health)")
 	commitWorkers := flag.Int("commit-workers", 0, "state commit & root hashing workers at every seal/verify site (0 = auto, 1 = serial ablation)")
+	stateBackend := flag.String("state-backend", "mem", "world-state backend: mem (per-process maps) or disk (persistent node store with flat-snapshot reads)")
+	stateDir := flag.String("state-dir", "", "disk backend: directory for the node store (\"\" = temp dir, removed at exit)")
 	flag.Parse()
 
 	// The HTTP server shuts down when the run finishes or on SIGINT.
@@ -150,7 +154,33 @@ func main() {
 	cfg.Seed = *seed
 	cfg.TxPerBlock = *txs
 	gen := workload.New(cfg)
-	genesis := gen.GenesisState()
+	var genesis *state.Snapshot
+	switch *stateBackend {
+	case "mem":
+		genesis = gen.GenesisState()
+	case "disk":
+		dir := *stateDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "blockpilot-state-*")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "blockpilot:", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		sdb, err := trie.OpenDatabase(filepath.Join(dir, "state.db"), 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blockpilot:", err)
+			os.Exit(1)
+		}
+		defer sdb.Close()
+		genesis = gen.GenesisStateInto(sdb, 0)
+		fmt.Printf("state store: %s (genesis root %s)\n", sdb.Store().Path(), genesis.Root())
+	default:
+		fmt.Fprintf(os.Stderr, "blockpilot: unknown -state-backend %q (want mem|disk)\n", *stateBackend)
+		os.Exit(1)
+	}
 	params := chain.DefaultParams()
 	params.CommitWorkers = *commitWorkers
 

@@ -57,6 +57,8 @@ func main() {
 	simHeights := flag.Int("sim-heights", 0, "sim: canonical blocks per run (0 = scenario default)")
 	simValidators := flag.Int("sim-validators", 0, "sim: validator nodes per run (0 = scenario default)")
 	simMutation := flag.Bool("sim-mutation", true, "sim: also run the seeded-bug mutation self-check")
+	stateBackend := flag.String("state-backend", sim.StateBackendMem, "sim: world-state backend (mem|disk); disk runs the whole cluster on the persistent node store")
+	stateDir := flag.String("state-dir", "", "state: directory for the disk series' node store (\"\" = temp dir, removed afterwards)")
 	traceOn := flag.Bool("trace", false, "enable the block lifecycle tracer and print a critical-path/stall summary after the run")
 	healthOn := flag.Bool("health", false, "enable the runtime health recorder during the run (peaks land in BENCH_*.json env metadata)")
 	healthInterval := flag.Duration("health-interval", 250*time.Millisecond, "health sampler interval")
@@ -204,6 +206,14 @@ func main() {
 		so.Seed = *seed
 		res, err := bench.RunStateBench(so)
 		fatalIf(err)
+		do := bench.DefaultDiskStateOptions()
+		if *quick {
+			do = bench.QuickDiskStateOptions()
+		}
+		do.Seed = *seed
+		do.Dir = *stateDir
+		res.Disk, err = bench.RunDiskStateBench(do)
+		fatalIf(err)
 		fmt.Println(res.Render())
 		if *benchOut != "" {
 			fatalIf(res.WriteJSON(*benchOut))
@@ -231,6 +241,7 @@ func main() {
 			}
 			cfg.Engine = *engine
 			cfg.Adaptive = *adaptiveOn
+			cfg.StateBackend = *stateBackend
 			cfg.MutationCheck = *simMutation
 			rep, err := sim.Run(cfg)
 			fatalIf(err)

@@ -41,12 +41,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"blockpilot/internal/chain"
 	"blockpilot/internal/scheduler"
 	"blockpilot/internal/state"
+	"blockpilot/internal/trie"
 	"blockpilot/internal/types"
 	"blockpilot/internal/workload"
 )
@@ -80,6 +82,7 @@ func main() {
 	swapRatio := flag.Float64("swap-ratio", -1, "override hotspot swap ratio (0..1)")
 	pairs := flag.Int("pairs", -1, "override AMM pair count")
 	seed := flag.Int64("seed", 1, "workload seed")
+	stateBackend := flag.String("state-backend", "mem", "world-state backend for the inspected run (mem|disk)")
 	flag.Parse()
 
 	cfg := workload.Default()
@@ -92,7 +95,28 @@ func main() {
 		cfg.NumPairs = *pairs
 	}
 	g := workload.New(cfg)
-	st := g.GenesisState()
+	var st *state.Snapshot
+	switch *stateBackend {
+	case "mem":
+		st = g.GenesisState()
+	case "disk":
+		tmp, err := os.MkdirTemp("", "bpinspect-state-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bpinspect:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(tmp)
+		sdb, err := trie.OpenDatabase(filepath.Join(tmp, "state.db"), 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bpinspect:", err)
+			os.Exit(1)
+		}
+		defer sdb.Close()
+		st = g.GenesisStateInto(sdb, 0)
+	default:
+		fmt.Fprintf(os.Stderr, "bpinspect: unknown -state-backend %q (want mem|disk)\n", *stateBackend)
+		os.Exit(1)
+	}
 	params := chain.DefaultParams()
 	parentHeader := &types.Header{Number: 0, StateRoot: st.Root(), GasLimit: params.GasLimit}
 	coinbase := types.HexToAddress("0xc01bbace")

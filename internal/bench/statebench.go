@@ -129,6 +129,11 @@ type StateBenchResult struct {
 	SpeedupAt4       float64 `json:"speedup_at_4_workers,omitempty"`
 	Workers1DeltaPct float64 `json:"workers_1_delta_pct"`
 
+	// Disk is the disk-backend series (cache-hit ratio, read amplification,
+	// store size) — absent in trajectory files that predate the persistent
+	// backend, so benchdiff treats it as an added, not a regressed, series.
+	Disk *DiskStateResult `json:"disk,omitempty"`
+
 	// Env is the run environment (Go version, peak heap/goroutines); benchdiff
 	// uses it to flag environment drift between trajectory files.
 	Env *RunEnv `json:"env,omitempty"`
@@ -236,5 +241,9 @@ func (r *StateBenchResult) Render() string {
 	fmt.Fprintf(&b, "  serial Commit+Root baseline: %.2f ms (workers=1 delta %+.1f%%)\n",
 		r.SerialMs, r.Workers1DeltaPct)
 	fmt.Fprintf(&b, "  final root (identical across all points): %s\n", r.FinalRoot)
+	if r.Disk != nil {
+		b.WriteString("\n")
+		b.WriteString(r.Disk.Render())
+	}
 	return b.String()
 }

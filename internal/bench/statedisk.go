@@ -1,0 +1,247 @@
+// Disk-backed state benchmark: grows a large genesis population through the
+// chunked disk builder, drives chained block-sized commits with continuous
+// pruning (only a trailing window of roots stays live), then measures a
+// random-read phase — producing the BENCH_state.json disk series: cache-hit
+// ratio, read amplification, store size and peak heap. The scale variant
+// (millions of accounts) runs behind an env gate; CI runs the small smoke.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"blockpilot/internal/state"
+	"blockpilot/internal/trie"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// DiskStateOptions sizes the disk-backed series.
+type DiskStateOptions struct {
+	Accounts   int    // genesis EOA population
+	Blocks     int    // chained commits after genesis
+	TxAccounts int    // accounts touched per commit
+	MaxSlots   int    // max dirty slots per touched contract
+	Reads      int    // random account+slot reads in the measurement phase
+	CacheNodes int    // node LRU capacity (0 = trie.DefaultCacheNodes)
+	KeepRoots  int    // trailing live-root window; older roots are released
+	Seed       int64
+	Dir        string // "" = fresh temp dir, removed afterwards
+}
+
+// DefaultDiskStateOptions is the `make bench-state` disk series: a
+// population large enough that the node LRU cannot hold the trie (cache
+// misses and read amplification are real), small enough to finish in
+// seconds. The millions-of-accounts variant just raises Accounts (see
+// BLOCKPILOT_SCALE_ACCOUNTS in the scale test).
+func DefaultDiskStateOptions() DiskStateOptions {
+	return DiskStateOptions{
+		Accounts:   120_000,
+		Blocks:     24,
+		TxAccounts: 240,
+		MaxSlots:   8,
+		Reads:      20_000,
+		CacheNodes: 16_384,
+		KeepRoots:  4,
+		Seed:       1,
+	}
+}
+
+// QuickDiskStateOptions is the CI smoke sizing.
+func QuickDiskStateOptions() DiskStateOptions {
+	return DiskStateOptions{
+		Accounts:   4_000,
+		Blocks:     6,
+		TxAccounts: 64,
+		MaxSlots:   4,
+		Reads:      2_000,
+		CacheNodes: 2_048,
+		KeepRoots:  2,
+		Seed:       1,
+	}
+}
+
+// DiskStateResult is the disk series of BENCH_state.json.
+type DiskStateResult struct {
+	Accounts   int `json:"accounts"`
+	Blocks     int `json:"blocks"`
+	CacheNodes int `json:"cache_nodes"`
+
+	GenesisMs     float64 `json:"genesis_ms"`
+	CommitMs      float64 `json:"commit_ms"` // all Blocks commits, incl. pruning
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	ReadsMs       float64 `json:"reads_ms"`
+
+	// CacheHitRatio and ReadAmplification cover the random-read phase only
+	// (deltas over DBStats), so genesis construction cannot flatter them.
+	CacheHitRatio     float64 `json:"cache_hit_ratio"`
+	ReadAmplification float64 `json:"read_amplification"`
+	FlatHitRatio      float64 `json:"flat_hit_ratio"` // whole run
+
+	StoreNodes  int     `json:"store_nodes"`
+	StoreFileMB float64 `json:"store_file_mb"`
+	PeakHeapMB  float64 `json:"peak_heap_mb"` // HeapAlloc right after the run
+	LiveRoots   int     `json:"live_roots"`
+	FinalRoot   string  `json:"final_root"`
+}
+
+// RunDiskStateBench runs the disk series. The final root is re-derived
+// through a fresh OpenSnapshot handle (no flat layers, cold cache path) so
+// the series doubles as a persistence parity witness.
+func RunDiskStateBench(o DiskStateOptions) (*DiskStateResult, error) {
+	dir := o.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "blockpilot-statedisk-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	db, err := trie.OpenDatabase(filepath.Join(dir, "state.db"), o.CacheNodes)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	res := &DiskStateResult{Accounts: o.Accounts, Blocks: o.Blocks, CacheNodes: o.CacheNodes}
+	r := rand.New(rand.NewSource(o.Seed))
+
+	// Genesis: the chunked disk build (bounded memory at any population).
+	g := state.NewGenesisBuilder()
+	for i := 0; i < o.Accounts; i++ {
+		g.AddAccount(diskBenchAddr(i), uint256.NewInt(uint64(1_000_000+i)))
+	}
+	start := time.Now()
+	st := g.BuildInto(db, 0)
+	res.GenesisMs = ms(time.Since(start))
+
+	// Commit phase: chained block-sized change sets over the population,
+	// releasing roots behind a KeepRoots window (steady-state pruning).
+	keep := o.KeepRoots
+	if keep < 1 {
+		keep = 1
+	}
+	var window []types.Hash
+	window = append(window, st.Root())
+	start = time.Now()
+	for b := 0; b < o.Blocks; b++ {
+		cs := diskBenchChangeSet(r, st, o)
+		st = st.CommitParallel(cs, 4)
+		window = append(window, st.Root())
+		for len(window) > keep {
+			if err := db.Release([32]byte(window[0])); err != nil {
+				return nil, fmt.Errorf("statedisk: release: %w", err)
+			}
+			window = window[1:]
+		}
+	}
+	commit := time.Since(start)
+	res.CommitMs = ms(commit)
+	if s := commit.Seconds(); s > 0 {
+		res.CommitsPerSec = float64(o.Blocks) / s
+	}
+
+	// Read phase: uniform random account + slot reads — the workload the
+	// flat layers and node LRU exist for. Ratios are deltas over this phase.
+	before := db.Stats()
+	start = time.Now()
+	var sink uint64
+	for i := 0; i < o.Reads; i++ {
+		addr := diskBenchAddr(r.Intn(o.Accounts))
+		sink += st.Nonce(addr)
+		if i%4 == 0 {
+			var slot types.Hash
+			slot[0] = byte(r.Intn(64))
+			v := st.Storage(addr, slot)
+			sink += v.Uint64()
+		}
+	}
+	res.ReadsMs = ms(time.Since(start))
+	_ = sink
+	after := db.Stats()
+
+	if dr := after.Resolves - before.Resolves; dr > 0 {
+		res.CacheHitRatio = float64(after.CacheHits-before.CacheHits) / float64(dr)
+	} else {
+		res.CacheHitRatio = 1
+	}
+	if lr := after.LogicalReads - before.LogicalReads; lr > 0 {
+		res.ReadAmplification = float64(after.DiskReads-before.DiskReads) / float64(lr)
+	}
+	if after.LogicalReads > 0 {
+		res.FlatHitRatio = float64(after.FlatHits) / float64(after.LogicalReads)
+	}
+	res.StoreNodes = after.Nodes
+	res.StoreFileMB = float64(after.FileBytes) / (1 << 20)
+	res.LiveRoots = len(db.LiveRoots())
+
+	// Persistence witness: resume the final root through a fresh handle.
+	reopened, err := state.OpenSnapshot(db, st.Root())
+	if err != nil {
+		return nil, fmt.Errorf("statedisk: reopen: %w", err)
+	}
+	if reopened.Root() != st.Root() {
+		return nil, fmt.Errorf("statedisk: reopened root mismatch")
+	}
+	res.FinalRoot = st.Root().String()
+
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	res.PeakHeapMB = float64(mem.HeapAlloc) / (1 << 20)
+	return res, nil
+}
+
+// diskBenchAddr derives the i-th population address.
+func diskBenchAddr(i int) types.Address {
+	var a types.Address
+	a[0], a[1], a[2] = byte(i), byte(i>>8), byte(i>>16)
+	a[19] = 0xD5
+	return a
+}
+
+// diskBenchChangeSet touches TxAccounts random population accounts; a third
+// of them also write storage slots (some zeroed).
+func diskBenchChangeSet(r *rand.Rand, base *state.Snapshot, o DiskStateOptions) *state.ChangeSet {
+	cs := state.NewChangeSet()
+	for len(cs.Accounts) < o.TxAccounts {
+		addr := diskBenchAddr(r.Intn(o.Accounts))
+		ch := &state.AccountChange{Nonce: base.Nonce(addr) + 1, Balance: base.Balance(addr)}
+		if r.Intn(3) == 0 {
+			ch.Storage = make(map[types.Hash]uint256.Int)
+			for s := 0; s < 1+r.Intn(o.MaxSlots); s++ {
+				var slot types.Hash
+				slot[0] = byte(r.Intn(64))
+				var sv uint256.Int
+				if r.Intn(4) != 0 {
+					sv.SetUint64(uint64(r.Int63()))
+				}
+				ch.Storage[slot] = sv
+			}
+		}
+		cs.Accounts[addr] = ch
+	}
+	return cs
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// Render prints the disk series as a text block.
+func (r *DiskStateResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Disk-backed state series — %d accounts, %d blocks, %d-node cache\n",
+		r.Accounts, r.Blocks, r.CacheNodes)
+	fmt.Fprintf(&b, "  genesis %.1f ms, commits %.1f ms (%.1f/s), reads %.1f ms\n",
+		r.GenesisMs, r.CommitMs, r.CommitsPerSec, r.ReadsMs)
+	fmt.Fprintf(&b, "  cache hit %.3f, read amplification %.2f, flat hit %.3f\n",
+		r.CacheHitRatio, r.ReadAmplification, r.FlatHitRatio)
+	fmt.Fprintf(&b, "  store: %d nodes, %.1f MB, %d live roots; peak heap %.1f MB\n",
+		r.StoreNodes, r.StoreFileMB, r.LiveRoots, r.PeakHeapMB)
+	fmt.Fprintf(&b, "  final root (reopen-verified): %s\n", r.FinalRoot)
+	return b.String()
+}

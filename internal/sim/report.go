@@ -61,14 +61,17 @@ func (r *Report) ReproLine() string {
 	if r.Cfg.Adaptive {
 		line += " -adaptive"
 	}
+	if r.Cfg.StateBackend != "" && r.Cfg.StateBackend != StateBackendMem {
+		line += " -state-backend " + r.Cfg.StateBackend
+	}
 	return line
 }
 
 // Render formats the report for the CLI.
 func (r *Report) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sim scenario=%s seed=%d engine=%s adaptive=%v heights=%d validators=%d\n",
-		r.Cfg.Scenario, r.Cfg.Seed, r.Cfg.Engine, r.Cfg.Adaptive, r.Cfg.Heights, r.Cfg.Validators)
+	fmt.Fprintf(&b, "sim scenario=%s seed=%d engine=%s adaptive=%v state=%s heights=%d validators=%d\n",
+		r.Cfg.Scenario, r.Cfg.Seed, r.Cfg.Engine, r.Cfg.Adaptive, r.Cfg.StateBackend, r.Cfg.Heights, r.Cfg.Validators)
 	fmt.Fprintf(&b, "  blocks: %d canonical, %d fork, %d tampered copies\n",
 		r.Stats.CanonicalBlocks, r.Stats.ForkBlocks, r.Stats.TamperedCopies)
 	fmt.Fprintf(&b, "  txs: %d generated, %d committed, %d pending, %d dropped\n",

@@ -20,6 +20,7 @@ import (
 	"blockpilot/internal/pipeline"
 	"blockpilot/internal/state"
 	"blockpilot/internal/trace"
+	"blockpilot/internal/trie"
 	"blockpilot/internal/types"
 	"blockpilot/internal/validator"
 	"blockpilot/internal/workload"
@@ -226,7 +227,23 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Adaptive {
 		r.adaptive = adaptive.New(adaptive.Config{})
 	}
-	genesis := r.gen.GenesisState()
+	var genesis *state.Snapshot
+	switch cfg.StateBackend {
+	case StateBackendMem:
+		genesis = r.gen.GenesisState()
+	case StateBackendDisk:
+		// One persistent node store backs the whole cluster: the reference
+		// chain, the proposer tip and every validator incarnation commit
+		// through it, so crash-replay re-validation also runs disk-backed.
+		sdb, err := trie.OpenDatabase(filepath.Join(dir, "state.db"), 0)
+		if err != nil {
+			return nil, err
+		}
+		defer sdb.Close()
+		genesis = r.gen.GenesisStateInto(sdb, 0)
+	default:
+		return nil, fmt.Errorf("sim: unknown state backend %q", cfg.StateBackend)
+	}
 	r.ref = chain.NewChain(genesis, params)
 
 	// Every run gets a private collector — the scenario matrix runs

@@ -44,6 +44,14 @@ type Config struct {
 	// so every scenario must hold under both. Part of the repro line.
 	Engine string
 
+	// StateBackend selects the world-state backend for every node in the
+	// cluster ("mem" or "disk"). Disk runs the whole cluster — reference
+	// chain, proposer and validators — against one persistent node store
+	// under Dir; the oracles are backend-blind, and the run digest must be
+	// byte-identical across backends (state persistence cannot change
+	// consensus). Part of the repro line.
+	StateBackend string
+
 	// Adaptive attaches one contention controller to the canonical
 	// proposer for the whole run (the window persists across heights, as in
 	// production): hot-key serial lane, commutative credit merge, and
@@ -146,7 +154,16 @@ func (c *Config) Normalize() {
 	if c.Engine == "" {
 		c.Engine = core.EngineOCCWSI
 	}
+	if c.StateBackend == "" {
+		c.StateBackend = StateBackendMem
+	}
 }
+
+// State backend names (Config.StateBackend, -state-backend).
+const (
+	StateBackendMem  = "mem"
+	StateBackendDisk = "disk"
+)
 
 // presets is the scenario matrix (docs/TESTING.md documents each row).
 var presets = map[string]Config{

@@ -1,0 +1,391 @@
+// Disk-backed snapshots: the same immutable Snapshot semantics as the
+// in-memory backend, persisted through trie.Database. Per-snapshot maps
+// disappear — storage tries are opened lazily from each account's
+// storageRoot and contract code comes from content-addressed store records
+// — so a snapshot is a root hash plus the shared backend handle, and
+// OpenSnapshot can resume any live root after a restart. Every Commit
+// persists its fresh nodes behind one durability barrier and anchors the
+// new root; stale roots are pruned with Database.Release.
+//
+// The backend choice rides inside the Snapshot: chain.CommitAndRoot, both
+// proposer engines, the validator and the simulator call the same
+// Commit/CommitParallel/Root APIs and never see which backend is active.
+package state
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"blockpilot/internal/crypto"
+	"blockpilot/internal/rlp"
+	"blockpilot/internal/trie"
+	"blockpilot/internal/types"
+	"blockpilot/internal/uint256"
+)
+
+// NewSnapshotDisk returns an empty world state persisting through db.
+func NewSnapshotDisk(db *trie.Database) *Snapshot {
+	return &Snapshot{
+		accounts: trie.NewDB(db),
+		storage:  make(map[types.Address]*trie.Trie),
+		codes:    make(map[types.Hash][]byte),
+		keys:     newKeyCache(),
+		db:       db,
+	}
+}
+
+// OpenSnapshot resumes the world state at a live root — how a restarted
+// node picks up where the store's durable tail left off. Opening is O(1);
+// reads fault nodes in on demand.
+func OpenSnapshot(db *trie.Database, root types.Hash) (*Snapshot, error) {
+	if !db.HasRoot([32]byte(root)) {
+		return nil, fmt.Errorf("state: root %x is not live in the store", root[:8])
+	}
+	s := NewSnapshotDisk(db)
+	s.accounts = trie.NewAt(db, [32]byte(root))
+	return s, nil
+}
+
+// Database returns the disk backend handle (nil on the in-memory backend).
+func (s *Snapshot) Database() *trie.Database { return s.db }
+
+// accountDisk resolves an account on the disk backend: flat layers first,
+// then the accounts trie. hashedAddr may be nil (computed on flat miss).
+// countFlat is set only on the point-read path (lookup) so the flat-hit
+// ratio stays a fraction of counted logical reads — the commit and
+// storage-resolution paths fetch accounts too, but those are not the reads
+// the metric samples.
+func (s *Snapshot) accountDisk(addr types.Address, hashedAddr []byte, countFlat bool) (decodedAccount, bool) {
+	if a, ok := s.flat.account(addr); ok {
+		if countFlat {
+			s.db.CountFlatHit()
+		}
+		return decodedAccount{nonce: a.nonce, balance: a.balance, storageRoot: a.storageRoot, codeHash: a.codeHash}, true
+	}
+	if hashedAddr == nil {
+		hashedAddr = s.hashedAddr(addr)
+	}
+	return s.lookupHashed(hashedAddr)
+}
+
+// storageTrie opens the storage trie rooted at root (empty for the empty or
+// zero root).
+func (s *Snapshot) storageTrie(root types.Hash) *trie.Trie {
+	if root == types.Hash(trie.EmptyRoot) || root == (types.Hash{}) {
+		return trie.NewDB(s.db)
+	}
+	return trie.NewAt(s.db, [32]byte(root))
+}
+
+// storageDisk is Storage on the disk backend: flat slot diff, then the
+// account's storage trie via its storageRoot.
+func (s *Snapshot) storageDisk(addr types.Address, slot types.Hash) uint256.Int {
+	s.db.CountLogicalRead()
+	var v uint256.Int
+	if fv, ok := s.flat.slot(addr, slot); ok {
+		s.db.CountFlatHit()
+		return fv
+	}
+	a, ok := s.accountDisk(addr, nil, false)
+	if !ok || a.storageRoot == types.Hash(trie.EmptyRoot) || a.storageRoot == (types.Hash{}) {
+		return v
+	}
+	leaf := s.storageTrie(a.storageRoot).Get(s.hashedSlot(slot))
+	if leaf == nil {
+		return v
+	}
+	content, _, err := rlp.SplitString(leaf)
+	if err != nil {
+		return v
+	}
+	v.SetBytes(content)
+	return v
+}
+
+// ForEachStorage visits every slot of addr's storage trie in hashed-key
+// order (both backends; the parity suite iterates full slot state with it).
+func (s *Snapshot) ForEachStorage(addr types.Address, fn func(hashedSlot types.Hash, val uint256.Int) bool) {
+	var st *trie.Trie
+	if s.db != nil {
+		a, ok := s.accountDisk(addr, nil, false)
+		if !ok {
+			return
+		}
+		st = s.storageTrie(a.storageRoot)
+	} else {
+		st = s.storage[addr]
+		if st == nil {
+			return
+		}
+	}
+	st.ForEach(func(key, leaf []byte) bool {
+		var v uint256.Int
+		if content, _, err := rlp.SplitString(leaf); err == nil {
+			v.SetBytes(content)
+		}
+		return fn(types.BytesToHash(key), v)
+	})
+}
+
+// commitDisk is the serial disk-backend commit: the same account loop as
+// Commit, with dirty storage tries and the accounts trie persisted behind
+// one barrier and the diff pushed onto the flat stack. An I/O failure
+// panics: a state commit that cannot reach disk is as fatal as OOM, and the
+// Commit signature (shared with the hot in-memory path) carries no error.
+func (s *Snapshot) commitDisk(cs *ChangeSet) *Snapshot {
+	ns := &Snapshot{
+		accounts: s.accounts.Copy(),
+		storage:  s.storage,
+		codes:    s.codes,
+		keys:     s.keys,
+		db:       s.db,
+	}
+	batch := s.db.NewBatch()
+	flatAccts := make(map[types.Address]flatAccount, len(cs.Accounts))
+	var flatStorage map[types.Address]map[types.Hash]uint256.Int
+
+	for addr, ch := range cs.Accounts {
+		hashedAddr := s.hashedAddr(addr)
+		old, existed := s.accountDisk(addr, hashedAddr, false)
+		acct := old
+		acct.nonce = ch.Nonce
+		acct.balance = ch.Balance
+		if !existed {
+			acct.codeHash = EmptyCodeHash
+			acct.storageRoot = types.Hash(trie.EmptyRoot)
+		}
+		if ch.CodeSet {
+			h := types.Hash(crypto.Sum256(ch.Code))
+			acct.codeHash = h
+			batch.PutCode([32]byte(h), ch.Code)
+		}
+		if len(ch.Storage) > 0 {
+			st := s.storageTrie(acct.storageRoot)
+			s.applyStorage(st, ch.Storage)
+			// Storage tries persist before the accounts trie so the account
+			// leaf's storageRoot edge resolves inside the same batch.
+			acct.storageRoot = types.Hash(batch.PersistTrie(st))
+			if flatStorage == nil {
+				flatStorage = make(map[types.Address]map[types.Hash]uint256.Int)
+			}
+			flatStorage[addr] = copySlots(ch.Storage)
+		}
+		ns.accounts.Update(hashedAddr,
+			encodeAccount(acct.nonce, &acct.balance, acct.storageRoot, acct.codeHash))
+		flatAccts[addr] = flatAccount{nonce: acct.nonce, balance: acct.balance, storageRoot: acct.storageRoot, codeHash: acct.codeHash}
+	}
+
+	root := batch.PersistTrie(ns.accounts)
+	if err := batch.Commit(root); err != nil {
+		panic(fmt.Errorf("state: disk commit: %w", err))
+	}
+	ns.flat = pushFlatLayer(s.flat, flatAccts, flatStorage)
+	return ns
+}
+
+// commitParallelDisk is CommitParallel on the disk backend: identical
+// per-account fan-out (lookups through flat+cache+store are all
+// thread-safe), with the persist and flat push in the serial tail. Produces
+// a snapshot bit-identical to commitDisk (the parity suite proves it across
+// worker counts and against the in-memory backend).
+func (s *Snapshot) commitParallelDisk(cs *ChangeSet, workers int) *Snapshot {
+	n := len(cs.Accounts)
+	if workers <= 1 || n < minParallelCommitAccounts {
+		return s.commitDisk(cs)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	type job struct {
+		addr types.Address
+		ch   *AccountChange
+	}
+	type result struct {
+		hashedAddr []byte
+		leaf       []byte
+		storage    *trie.Trie // nil when the account has no dirty slots
+		acct       flatAccount
+		codeHash   types.Hash
+		code       []byte
+		codeSet    bool
+	}
+	jobs := make([]job, 0, n)
+	for addr, ch := range cs.Accounts {
+		jobs = append(jobs, job{addr: addr, ch: ch})
+	}
+	results := make([]result, n)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				addr, ch := jobs[i].addr, jobs[i].ch
+				hashedAddr := s.hashedAddr(addr)
+				old, existed := s.accountDisk(addr, hashedAddr, false)
+				acct := old
+				acct.nonce = ch.Nonce
+				acct.balance = ch.Balance
+				if !existed {
+					acct.codeHash = EmptyCodeHash
+					acct.storageRoot = types.Hash(trie.EmptyRoot)
+				}
+				r := &results[i]
+				if ch.CodeSet {
+					h := types.Hash(crypto.Sum256(ch.Code))
+					acct.codeHash = h
+					r.codeHash, r.code, r.codeSet = h, ch.Code, true
+				}
+				if len(ch.Storage) > 0 {
+					st := s.storageTrie(acct.storageRoot)
+					r.storage = s.applyStorage(st, ch.Storage)
+					acct.storageRoot = types.Hash(r.storage.Hash())
+				}
+				r.hashedAddr = hashedAddr
+				r.leaf = encodeAccount(acct.nonce, &acct.balance, acct.storageRoot, acct.codeHash)
+				r.acct = flatAccount{nonce: acct.nonce, balance: acct.balance, storageRoot: acct.storageRoot, codeHash: acct.codeHash}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Serial tail: batch the account leaves, persist everything, push flat.
+	ns := &Snapshot{
+		accounts: s.accounts.Copy(),
+		storage:  s.storage,
+		codes:    s.codes,
+		keys:     s.keys,
+		db:       s.db,
+	}
+	batch := s.db.NewBatch()
+	flatAccts := make(map[types.Address]flatAccount, n)
+	var flatStorage map[types.Address]map[types.Hash]uint256.Int
+	keys := make([][]byte, n)
+	leaves := make([][]byte, n)
+	for i := range results {
+		r := &results[i]
+		keys[i] = r.hashedAddr
+		leaves[i] = r.leaf
+		if r.codeSet {
+			batch.PutCode([32]byte(r.codeHash), r.code)
+		}
+		if r.storage != nil {
+			batch.PersistTrie(r.storage)
+			if flatStorage == nil {
+				flatStorage = make(map[types.Address]map[types.Hash]uint256.Int)
+			}
+			flatStorage[jobs[i].addr] = copySlots(jobs[i].ch.Storage)
+		}
+		flatAccts[jobs[i].addr] = r.acct
+	}
+	ns.accounts.Batch(keys, leaves)
+	root := batch.PersistTrie(ns.accounts)
+	if err := batch.Commit(root); err != nil {
+		panic(fmt.Errorf("state: disk commit: %w", err))
+	}
+	ns.flat = pushFlatLayer(s.flat, flatAccts, flatStorage)
+	return ns
+}
+
+// copySlots snapshots a change set's dirty-slot map for the flat layer: the
+// caller may reuse or merge the change set after Commit returns, and flat
+// layers are read concurrently.
+func copySlots(slots map[types.Hash]uint256.Int) map[types.Hash]uint256.Int {
+	out := make(map[types.Hash]uint256.Int, len(slots))
+	for k, v := range slots {
+		out[k] = v
+	}
+	return out
+}
+
+// defaultGenesisChunk is BuildInto's commit granularity in weight units
+// (one unit ≈ one account or one storage slot): large enough to amortize
+// batch overhead, small enough that peak in-memory trie spine stays tens of
+// megabytes at millions of accounts.
+const defaultGenesisChunk = 65536
+
+// BuildInto produces the genesis snapshot on the disk backend, committing
+// in chunks and releasing each intermediate root so peak memory stays
+// bounded by the chunk size rather than the account count. The final root
+// is identical to Build()'s in-memory result: the MPT is canonical, so
+// chunking cannot change it (proven by the workload parity test).
+func (g *GenesisBuilder) BuildInto(db *trie.Database, chunk int) *Snapshot {
+	if db == nil {
+		return g.Build()
+	}
+	if chunk <= 0 {
+		chunk = defaultGenesisChunk
+	}
+	st := NewSnapshotDisk(db)
+	cs := NewChangeSet()
+	weight := 0
+	var prevRoot types.Hash
+	havePrev := false
+	flush := func() {
+		if len(cs.Accounts) == 0 {
+			return
+		}
+		st = st.CommitParallel(cs, runtime.GOMAXPROCS(0))
+		if havePrev {
+			if err := db.Release([32]byte(prevRoot)); err != nil {
+				panic(fmt.Errorf("state: genesis chunk release: %w", err))
+			}
+		}
+		prevRoot, havePrev = st.Root(), true
+		cs = NewChangeSet()
+		weight = 0
+	}
+
+	for addr, acct := range g.accounts {
+		if len(acct.Storage) > chunk {
+			// A contract whose storage alone exceeds a chunk: stream its
+			// slots across several commits of the same account (the trie
+			// merges them; nonce/balance re-apply idempotently).
+			pending := make(map[types.Hash]uint256.Int, chunk)
+			first := true
+			emit := func() {
+				ch := &AccountChange{Nonce: acct.Nonce, Balance: acct.Balance, Storage: pending}
+				if first && len(acct.Code) > 0 {
+					ch.Code, ch.CodeSet = acct.Code, true
+				}
+				first = false
+				cs.Accounts[addr] = ch
+				flush()
+				pending = make(map[types.Hash]uint256.Int, chunk)
+			}
+			for k, v := range acct.Storage {
+				pending[k] = v
+				if len(pending) >= chunk {
+					emit()
+				}
+			}
+			if len(pending) > 0 {
+				emit()
+			}
+			continue
+		}
+		ch := &AccountChange{Nonce: acct.Nonce, Balance: acct.Balance, Storage: acct.Storage}
+		if len(acct.Code) > 0 {
+			ch.Code, ch.CodeSet = acct.Code, true
+		}
+		cs.Accounts[addr] = ch
+		weight += 1 + len(acct.Storage)
+		if weight >= chunk {
+			flush()
+		}
+	}
+	flush()
+	if !havePrev {
+		st = st.Commit(NewChangeSet()) // empty genesis: anchor the empty root
+	}
+	return st
+}

@@ -29,6 +29,14 @@ type Snapshot struct {
 	// pure, so sharing is always safe and turns repeated per-lookup and
 	// per-commit hashing into a single computation per key.
 	keys *keyCache
+
+	// Disk backend (nil = the in-memory backend). When set, commits persist
+	// through db (storage tries resolved lazily via each account's
+	// storageRoot, code via content-addressed db records — the storage and
+	// codes maps above stay empty), and flat is the O(1) read acceleration
+	// stack over recent commits (see flat.go, disk.go).
+	db   *trie.Database
+	flat *flatLayer
 }
 
 // NewSnapshot returns an empty world state.
@@ -101,8 +109,13 @@ func (s *Snapshot) hashedSlot(slot types.Hash) []byte {
 	return s.keys.HashedSlot(slot)
 }
 
-// lookup fetches and decodes an account leaf; ok is false for absents.
+// lookup fetches and decodes an account leaf; ok is false for absents. On
+// the disk backend the flat layers answer first (O(1)), then the trie.
 func (s *Snapshot) lookup(addr types.Address) (decodedAccount, bool) {
+	if s.db != nil {
+		s.db.CountLogicalRead()
+		return s.accountDisk(addr, nil, true)
+	}
 	return s.lookupHashed(s.hashedAddr(addr))
 }
 
@@ -135,6 +148,10 @@ func (s *Snapshot) Code(addr types.Address) []byte {
 	if !ok || a.codeHash == EmptyCodeHash || a.codeHash == (types.Hash{}) {
 		return nil
 	}
+	if s.db != nil {
+		code, _ := s.db.Code([32]byte(a.codeHash))
+		return code
+	}
 	return s.codes[a.codeHash]
 }
 
@@ -152,6 +169,9 @@ func (s *Snapshot) CodeHash(addr types.Address) types.Hash {
 
 // Storage implements Reader.
 func (s *Snapshot) Storage(addr types.Address, slot types.Hash) uint256.Int {
+	if s.db != nil {
+		return s.storageDisk(addr, slot)
+	}
 	var v uint256.Int
 	st, ok := s.storage[addr]
 	if !ok {
@@ -180,8 +200,19 @@ func (s *Snapshot) Root() types.Hash {
 	return types.Hash(s.accounts.Hash())
 }
 
-// Copy returns an independent snapshot sharing all structure (O(#contracts)).
+// Copy returns an independent snapshot sharing all structure (O(#contracts)
+// in memory, O(1) on the disk backend — its maps are empty by design).
 func (s *Snapshot) Copy() *Snapshot {
+	if s.db != nil {
+		return &Snapshot{
+			accounts: s.accounts.Copy(),
+			storage:  s.storage,
+			codes:    s.codes,
+			keys:     s.keys,
+			db:       s.db,
+			flat:     s.flat,
+		}
+	}
 	ns := &Snapshot{
 		accounts: s.accounts.Copy(),
 		storage:  make(map[types.Address]*trie.Trie, len(s.storage)),
@@ -202,6 +233,9 @@ func (s *Snapshot) Copy() *Snapshot {
 // `-commit-workers 1` ablation); CommitParallel must produce a bit-identical
 // snapshot.
 func (s *Snapshot) Commit(cs *ChangeSet) *Snapshot {
+	if s.db != nil {
+		return s.commitDisk(cs)
+	}
 	ns := &Snapshot{
 		accounts: s.accounts.Copy(),
 		storage:  s.storage,
@@ -292,6 +326,9 @@ const minParallelCommitAccounts = 4
 //
 // workers <= 1 (the ablation) or a small change set falls back to Commit.
 func (s *Snapshot) CommitParallel(cs *ChangeSet, workers int) *Snapshot {
+	if s.db != nil {
+		return s.commitParallelDisk(cs, workers)
+	}
 	n := len(cs.Accounts)
 	if workers <= 1 || n < minParallelCommitAccounts {
 		return s.Commit(cs)

@@ -56,30 +56,31 @@ func (t *Trie) Batch(keys, vals [][]byte) {
 	}
 	sort.Slice(puts, func(a, b int) bool { return bytes.Compare(puts[a].key, puts[b].key) < 0 })
 
-	t.root = batchInsert(t.root, puts)
+	t.root = batchInsert(t.db, t.root, puts)
 	for _, k := range dels {
-		t.root, _ = remove(t.root, keybytesToNibbles(k))
+		t.root, _ = remove(t.db, t.root, keybytesToNibbles(k))
 	}
 }
 
 // batchInsert returns a new subtree equal to n with all items stored. items
 // must be sorted by nibble key and duplicate-free.
-func batchInsert(n node, items []kv) node {
+func batchInsert(db *Database, n node, items []kv) node {
 	if len(items) == 0 {
 		return n
 	}
 	if len(items) == 1 {
-		return insert(n, items[0].key, items[0].val)
+		return insert(db, n, items[0].key, items[0].val)
 	}
+	n = resolved(db, n)
 	switch nd := n.(type) {
 	case nil:
-		return buildSubtree(items)
+		return buildSubtree(db, items)
 
 	case *leafNode:
 		// Fold the existing leaf in as one more item; batch items win on an
 		// equal key. The merged set stays sorted.
 		merged := mergeLeaf(items, kv{key: nd.key, val: nd.val})
-		return buildSubtree(merged)
+		return buildSubtree(db, merged)
 
 	case *extNode:
 		// How far do ALL items follow the extension's compressed path?
@@ -96,7 +97,7 @@ func batchInsert(n node, items []kv) node {
 			for i, it := range items {
 				stripped[i] = kv{key: it.key[cp:], val: it.val}
 			}
-			return &extNode{key: nd.key, child: batchInsert(nd.child, stripped)}
+			return &extNode{key: nd.key, child: batchInsert(db, nd.child, stripped)}
 		}
 		// Some item diverges inside the extension: split it at cp into a
 		// fresh branch (same shape rule as the single-key insert), then
@@ -112,7 +113,7 @@ func batchInsert(n node, items []kv) node {
 		for i, it := range items {
 			stripped[i] = kv{key: it.key[cp:], val: it.val}
 		}
-		out := batchIntoBranch(b, stripped)
+		out := batchIntoBranch(db, b, stripped)
 		if cp > 0 {
 			return &extNode{key: append([]byte(nil), nd.key[:cp]...), child: out}
 		}
@@ -120,7 +121,7 @@ func batchInsert(n node, items []kv) node {
 
 	case *branchNode:
 		nb := &branchNode{children: nd.children, value: nd.value, hasValue: nd.hasValue}
-		return batchIntoBranch(nb, items)
+		return batchIntoBranch(db, nb, items)
 	}
 	return n
 }
@@ -128,7 +129,7 @@ func batchInsert(n node, items []kv) node {
 // batchIntoBranch distributes sorted items into a freshly allocated (and
 // therefore privately mutable) branch node: one recursion per distinct next
 // nibble, so the branch is written once regardless of item count.
-func batchIntoBranch(b *branchNode, items []kv) node {
+func batchIntoBranch(db *Database, b *branchNode, items []kv) node {
 	i := 0
 	// Sorted order puts the (unique) empty-key item first: it terminates at
 	// this branch and becomes its value.
@@ -146,7 +147,7 @@ func batchIntoBranch(b *branchNode, items []kv) node {
 		for g := i; g < j; g++ {
 			group[g-i] = kv{key: items[g].key[1:], val: items[g].val}
 		}
-		b.children[nib] = batchInsert(b.children[nib], group)
+		b.children[nib] = batchInsert(db, b.children[nib], group)
 		i = j
 	}
 	return b
@@ -154,7 +155,7 @@ func batchIntoBranch(b *branchNode, items []kv) node {
 
 // buildSubtree constructs the canonical subtree holding items (sorted,
 // duplicate-free, len >= 1) with no pre-existing node underneath.
-func buildSubtree(items []kv) node {
+func buildSubtree(db *Database, items []kv) node {
 	if len(items) == 1 {
 		return &leafNode{key: append([]byte(nil), items[0].key...), val: items[0].val}
 	}
@@ -168,10 +169,10 @@ func buildSubtree(items []kv) node {
 		}
 		return &extNode{
 			key:   append([]byte(nil), items[0].key[:cp]...),
-			child: buildSubtree(stripped),
+			child: buildSubtree(db, stripped),
 		}
 	}
-	return batchIntoBranch(&branchNode{}, items)
+	return batchIntoBranch(db, &branchNode{}, items)
 }
 
 // mergeLeaf inserts extra into sorted items, keeping order; an existing item

@@ -32,6 +32,9 @@ func (t *Trie) HashParallel(workers int) [32]byte {
 	if workers <= 1 || t.root == nil {
 		return t.Hash()
 	}
+	if _, ok := t.root.(*hashNode); ok {
+		return t.Hash() // persisted root: O(1), nothing to fan out
+	}
 	var frontier []node
 	gatherFrontier(t.root, 0, &frontier)
 	if len(frontier) < parallelHashMinTasks {
@@ -80,5 +83,8 @@ func gatherFrontier(n node, depth int, out *[]node) {
 		// Leaves are cheap; hash them with the task that owns them only if
 		// they surfaced at the frontier directly.
 		*out = append(*out, nd)
+	case *hashNode:
+		// Persisted boundary: its reference is its hash, O(1) — nothing to
+		// warm underneath without resolving it, which hashing never needs.
 	}
 }

@@ -32,6 +32,8 @@ func (t *Trie) Prove(key []byte) [][]byte {
 		switch nd := n.(type) {
 		case nil:
 			return proof
+		case *hashNode:
+			n = resolved(t.db, nd)
 		case *leafNode:
 			proof = append(proof, encodeNode(nd))
 			return proof

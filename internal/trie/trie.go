@@ -50,16 +50,32 @@ func (n *leafNode) cache() *atomic.Pointer[[]byte]   { return &n.enc }
 func (n *extNode) cache() *atomic.Pointer[[]byte]    { return &n.enc }
 func (n *branchNode) cache() *atomic.Pointer[[]byte] { return &n.enc }
 
-// Trie is a persistent Merkle Patricia Trie. The zero value is an empty trie.
+// Trie is a persistent Merkle Patricia Trie. The zero value is an empty
+// in-memory trie. A trie opened against a Database resolves hash references
+// through it lazily; a missing node panics with *MissingNodeError (see
+// db.go for why that is a panic, not an error return).
 type Trie struct {
 	root node
+	db   *Database
 }
 
-// New returns an empty trie.
+// New returns an empty in-memory trie.
 func New() *Trie { return &Trie{} }
 
+// NewDB returns an empty trie whose commits persist into db.
+func NewDB(db *Database) *Trie { return &Trie{db: db} }
+
+// NewAt opens the stored trie with the given root hash. The root is
+// resolved lazily: opening is O(1) and reads fault in nodes on demand.
+func NewAt(db *Database, root [32]byte) *Trie {
+	if root == EmptyRoot {
+		return &Trie{db: db}
+	}
+	return &Trie{root: newHashNode(root), db: db}
+}
+
 // Copy returns a snapshot of the trie. Both copies may diverge independently.
-func (t *Trie) Copy() *Trie { return &Trie{root: t.root} }
+func (t *Trie) Copy() *Trie { return &Trie{root: t.root, db: t.db} }
 
 // EmptyRoot is the hash of an empty trie: keccak256(rlp("")).
 var EmptyRoot = crypto.Sum256([]byte{0x80})
@@ -85,14 +101,16 @@ func commonPrefixLen(a, b []byte) int {
 
 // Get returns the value stored under key, or nil if absent.
 func (t *Trie) Get(key []byte) []byte {
-	return get(t.root, keybytesToNibbles(key))
+	return get(t.db, t.root, keybytesToNibbles(key))
 }
 
-func get(n node, key []byte) []byte {
+func get(db *Database, n node, key []byte) []byte {
 	for {
 		switch nd := n.(type) {
 		case nil:
 			return nil
+		case *hashNode:
+			n = resolved(db, nd)
 		case *leafNode:
 			if bytes.Equal(nd.key, key) {
 				return nd.val
@@ -124,12 +142,12 @@ func (t *Trie) Update(key, value []byte) {
 		t.Delete(key)
 		return
 	}
-	t.root = insert(t.root, keybytesToNibbles(key), value)
+	t.root = insert(t.db, t.root, keybytesToNibbles(key), value)
 }
 
 // Delete removes key from the trie if present.
 func (t *Trie) Delete(key []byte) {
-	t.root, _ = remove(t.root, keybytesToNibbles(key))
+	t.root, _ = remove(t.db, t.root, keybytesToNibbles(key))
 }
 
 // putIntoBranch stores (key, value) directly under a fresh branch.
@@ -141,8 +159,11 @@ func putIntoBranch(b *branchNode, key, value []byte) {
 	b.children[key[0]] = &leafNode{key: append([]byte(nil), key[1:]...), val: value}
 }
 
-// insert returns a new subtree equal to n with (key, value) stored.
-func insert(n node, key, value []byte) node {
+// insert returns a new subtree equal to n with (key, value) stored. It
+// never mutates existing nodes: resolved (cache-shared) nodes are copied
+// before modification, like every other node.
+func insert(db *Database, n node, key, value []byte) node {
+	n = resolved(db, n)
 	switch nd := n.(type) {
 	case nil:
 		return &leafNode{key: append([]byte(nil), key...), val: value}
@@ -163,7 +184,7 @@ func insert(n node, key, value []byte) node {
 	case *extNode:
 		cp := commonPrefixLen(key, nd.key)
 		if cp == len(nd.key) {
-			return &extNode{key: nd.key, child: insert(nd.child, key[cp:], value)}
+			return &extNode{key: nd.key, child: insert(db, nd.child, key[cp:], value)}
 		}
 		b := &branchNode{}
 		idx := nd.key[cp]
@@ -184,14 +205,15 @@ func insert(n node, key, value []byte) node {
 			nb.value, nb.hasValue = value, true
 			return nb
 		}
-		nb.children[key[0]] = insert(nd.children[key[0]], key[1:], value)
+		nb.children[key[0]] = insert(db, nd.children[key[0]], key[1:], value)
 		return nb
 	}
 	return nil
 }
 
 // remove returns a new subtree with key removed, and whether it was found.
-func remove(n node, key []byte) (node, bool) {
+func remove(db *Database, n node, key []byte) (node, bool) {
+	n = resolved(db, n)
 	switch nd := n.(type) {
 	case nil:
 		return nil, false
@@ -206,7 +228,7 @@ func remove(n node, key []byte) (node, bool) {
 		if len(key) < len(nd.key) || !bytes.Equal(nd.key, key[:len(nd.key)]) {
 			return nd, false
 		}
-		child, found := remove(nd.child, key[len(nd.key):])
+		child, found := remove(db, nd.child, key[len(nd.key):])
 		if !found {
 			return nd, false
 		}
@@ -229,20 +251,22 @@ func remove(n node, key []byte) (node, bool) {
 			}
 			nb.value, nb.hasValue = nil, false
 		} else {
-			child, found := remove(nd.children[key[0]], key[1:])
+			child, found := remove(db, nd.children[key[0]], key[1:])
 			if !found {
 				return nd, false
 			}
 			nb.children[key[0]] = child
 		}
-		return collapseBranch(nb), true
+		return collapseBranch(db, nb), true
 	}
 	return nil, false
 }
 
 // collapseBranch restores trie invariants after a deletion: a branch with a
-// single remaining entry becomes a leaf or extension.
-func collapseBranch(b *branchNode) node {
+// single remaining entry becomes a leaf or extension. The surviving child
+// must be resolved for the collapse: an ext pointing at a stored leaf/ext
+// would break the canonical shape.
+func collapseBranch(db *Database, b *branchNode) node {
 	childCount := 0
 	lastIdx := -1
 	for i, c := range b.children {
@@ -258,7 +282,7 @@ func collapseBranch(b *branchNode) node {
 		return &leafNode{key: []byte{}, val: b.value}
 	case childCount == 1 && !b.hasValue:
 		prefix := []byte{byte(lastIdx)}
-		switch c := b.children[lastIdx].(type) {
+		switch c := resolved(db, b.children[lastIdx]).(type) {
 		case *leafNode:
 			return &leafNode{key: concatNibbles(prefix, c.key), val: c.val}
 		case *extNode:
@@ -328,11 +352,17 @@ func encodeNode(n node) []byte {
 
 // nodeRef returns how a child is referenced inside its parent: embedded
 // directly when its encoding is shorter than 32 bytes, by keccak hash
-// otherwise. The result is cached on the node.
+// otherwise. The result is cached on the node. A hashNode's reference IS
+// its hash (hashing the 33-byte hash-string again would be wrong).
 func nodeRef(n node) []byte {
 	slot := n.cache()
 	if p := slot.Load(); p != nil {
 		return *p
+	}
+	if hn, ok := n.(*hashNode); ok {
+		ref := rlp.EncodeString(hn.hash[:])
+		slot.Store(&ref)
+		return ref
 	}
 	enc := encodeNode(n)
 	var ref []byte
@@ -348,32 +378,36 @@ func nodeRef(n node) []byte {
 // Hash returns the trie's root hash (the Ethereum state root rule:
 // keccak256 of the root node encoding, or EmptyRoot for an empty trie).
 func (t *Trie) Hash() [32]byte {
-	if t.root == nil {
+	switch nd := t.root.(type) {
+	case nil:
 		return EmptyRoot
+	case *hashNode:
+		return nd.hash // persisted root: the hash is already known
+	default:
+		return crypto.Sum256(encodeNode(t.root))
 	}
-	return crypto.Sum256(encodeNode(t.root))
 }
 
 // Len returns the number of keys in the trie (O(n), for tests and stats).
 func (t *Trie) Len() int {
-	return count(t.root)
+	return count(t.db, t.root)
 }
 
-func count(n node) int {
-	switch nd := n.(type) {
+func count(db *Database, n node) int {
+	switch nd := resolved(db, n).(type) {
 	case nil:
 		return 0
 	case *leafNode:
 		return 1
 	case *extNode:
-		return count(nd.child)
+		return count(db, nd.child)
 	case *branchNode:
 		c := 0
 		if nd.hasValue {
 			c = 1
 		}
 		for _, ch := range nd.children {
-			c += count(ch)
+			c += count(db, ch)
 		}
 		return c
 	}
@@ -383,17 +417,17 @@ func count(n node) int {
 // ForEach visits every (key, value) pair in lexicographic key order. The key
 // passed to fn is the original byte key; fn returning false stops the walk.
 func (t *Trie) ForEach(fn func(key, value []byte) bool) {
-	walk(t.root, nil, fn)
+	walk(t.db, t.root, nil, fn)
 }
 
-func walk(n node, prefix []byte, fn func(key, value []byte) bool) bool {
-	switch nd := n.(type) {
+func walk(db *Database, n node, prefix []byte, fn func(key, value []byte) bool) bool {
+	switch nd := resolved(db, n).(type) {
 	case nil:
 		return true
 	case *leafNode:
 		return fn(nibblesToKeybytes(append(prefix, nd.key...)), nd.val)
 	case *extNode:
-		return walk(nd.child, append(prefix, nd.key...), fn)
+		return walk(db, nd.child, append(prefix, nd.key...), fn)
 	case *branchNode:
 		if nd.hasValue {
 			if !fn(nibblesToKeybytes(prefix), nd.value) {
@@ -404,7 +438,7 @@ func walk(n node, prefix []byte, fn func(key, value []byte) bool) bool {
 			if c == nil {
 				continue
 			}
-			if !walk(c, append(prefix, byte(i)), fn) {
+			if !walk(db, c, append(prefix, byte(i)), fn) {
 				return false
 			}
 		}

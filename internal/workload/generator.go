@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"blockpilot/internal/state"
+	"blockpilot/internal/trie"
 	"blockpilot/internal/types"
 	"blockpilot/internal/uint256"
 )
@@ -38,6 +39,14 @@ type Config struct {
 	// HotRecipientRatio is the share of token transfers that pay one
 	// popular deposit address (a true storage-slot conflict chain).
 	HotRecipientRatio float64
+
+	// TokenHolders caps how many EOAs get a seeded balance in each token
+	// (0 = every account). At millions of accounts the default would mint
+	// NumTokens × NumAccounts storage slots at genesis — the cap keeps
+	// genesis linear in NumAccounts while the transfer traffic still spans
+	// the whole population (transfers to unseeded holders simply create
+	// their slot).
+	TokenHolders int
 
 	// Compute padding per contract call, in spin-loop iterations.
 	SpinMin, SpinMax int
@@ -154,15 +163,27 @@ const initialTokenBalance = 1 << 40
 // initialReserve seeds each AMM pair's two reserves.
 const initialReserve = 1 << 40
 
-// GenesisState builds the genesis world state for the population.
-func (g *Generator) GenesisState() *state.Snapshot {
+// tokenHolders returns the slice of EOAs seeded with a balance in every
+// token (the whole population unless Config.TokenHolders caps it).
+func (g *Generator) tokenHolders() []types.Address {
+	h := g.cfg.TokenHolders
+	if h <= 0 || h > len(g.accounts) {
+		return g.accounts
+	}
+	return g.accounts[:h]
+}
+
+// genesisBuilder assembles the genesis population (shared by the in-memory
+// and disk-backed builds so both land on the identical root).
+func (g *Generator) genesisBuilder() *state.GenesisBuilder {
 	b := state.NewGenesisBuilder()
 	for _, a := range g.accounts {
 		b.AddAccount(a, uint256.NewInt(initialEOABalance))
 	}
+	holders := g.tokenHolders()
 	for _, t := range g.tokens {
-		storage := make(map[types.Hash]uint256.Int, len(g.accounts))
-		for _, holder := range g.accounts {
+		storage := make(map[types.Hash]uint256.Int, len(holders))
+		for _, holder := range holders {
 			storage[holder.Hash()] = *uint256.NewInt(initialTokenBalance)
 		}
 		b.AddContract(t, uint256.NewInt(0), TokenCode, storage)
@@ -177,7 +198,20 @@ func (g *Generator) GenesisState() *state.Snapshot {
 	for _, m := range g.mixers {
 		b.AddContract(m, uint256.NewInt(0), MixerCode, nil)
 	}
-	return b.Build()
+	return b
+}
+
+// GenesisState builds the genesis world state for the population.
+func (g *Generator) GenesisState() *state.Snapshot {
+	return g.genesisBuilder().Build()
+}
+
+// GenesisStateInto builds the genesis world state on the disk backend,
+// committing in bounded chunks (0 = default) so a millions-of-accounts
+// population never holds more than one chunk's trie growth in memory. The
+// resulting root is identical to GenesisState's.
+func (g *Generator) GenesisStateInto(db *trie.Database, chunk int) *state.Snapshot {
+	return g.genesisBuilder().BuildInto(db, chunk)
 }
 
 // word encodes v as a 32-byte calldata word.
